@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: List Pom Printf String Util

@@ -1,0 +1,1 @@
+bench/bench_devices.ml: List Pom Util

@@ -1,0 +1,1 @@
+bench/bench_fig11.ml: List Pom Printf Util

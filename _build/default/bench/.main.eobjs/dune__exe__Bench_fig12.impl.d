@@ -1,0 +1,1 @@
+bench/bench_fig12.ml: Bench_table3 List Pom Printf Util

@@ -1,0 +1,1 @@
+bench/bench_fig13.ml: List Pom Printf String Util

@@ -1,0 +1,1 @@
+bench/bench_fig14.ml: Func List Pom Schedule Util

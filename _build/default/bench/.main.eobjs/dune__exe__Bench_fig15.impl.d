@@ -1,0 +1,1 @@
+bench/bench_fig15.ml: List Pom Printf Util

@@ -1,0 +1,1 @@
+bench/bench_fig16.ml: Format Func List Pom Schedule Util

@@ -1,0 +1,1 @@
+bench/bench_fig2.ml: List Pom Printf Util

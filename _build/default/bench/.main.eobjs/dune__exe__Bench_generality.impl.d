@@ -1,0 +1,1 @@
+bench/bench_generality.ml: List Pom Util

@@ -1,0 +1,1 @@
+bench/bench_table3.ml: List Pom Util

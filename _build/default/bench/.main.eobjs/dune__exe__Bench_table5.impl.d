@@ -1,0 +1,1 @@
+bench/bench_table5.ml: List Pom Printf Util

@@ -1,0 +1,1 @@
+bench/bench_table6.ml: List Pom Util

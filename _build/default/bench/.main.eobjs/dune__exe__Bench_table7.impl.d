@@ -1,0 +1,1 @@
+bench/bench_table7.ml: List Pom Util

@@ -1,0 +1,37 @@
+(* Device-scaling extension: the same kernels and DSE on the paper's
+   XC7Z020 and on a mid-range UltraScale+ part -- the bottleneck search
+   converts the larger budget directly into parallelism. *)
+
+let kernels =
+  [
+    ("GEMM", fun () -> Pom.Workloads.Polybench.gemm 4096);
+    ("BICG", fun () -> Pom.Workloads.Polybench.bicg 4096);
+    ("Seidel", fun () -> Pom.Workloads.Polybench.seidel 1024);
+  ]
+
+let run () =
+  Util.section "Devices | POM on XC7Z020 vs XCZU9EG (extension)";
+  let rows =
+    List.concat_map
+      (fun (name, build) ->
+        List.map
+          (fun device ->
+            let c =
+              Pom.compile ~device ~framework:`Pom_auto (build ())
+            in
+            [
+              name;
+              device.Pom.Hls.Device.name;
+              Util.speedup_s c;
+              Util.ii_s c;
+              Util.dsp_s ~device c;
+              Util.lut_s ~device c;
+              Util.parallelism_s c;
+            ])
+          [ Pom.Hls.Device.xc7z020; Pom.Hls.Device.xczu9eg ])
+      kernels
+  in
+  Util.print_table
+    [ "Benchmark"; "Device"; "Speedup"; "II"; "DSP (util)"; "LUT (util)";
+      "Parallelism" ]
+    rows

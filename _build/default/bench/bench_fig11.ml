@@ -1,0 +1,27 @@
+(* Fig. 11: speedup and resource utilization of 2MM under scaled resource
+   budgets (25/50/75/100% of the XC7Z020). *)
+
+let run () =
+  Util.section "Fig. 11 | 2MM under resource constraints (ScaleHLS vs POM)";
+  let n = 4096 in
+  let rows =
+    List.concat_map
+      (fun frac ->
+        let device = Pom.Hls.Device.scale frac Util.device in
+        List.map
+          (fun fw ->
+            let c = Util.compile ~device fw (Pom.Workloads.Polybench.mm2 n) in
+            [
+              Printf.sprintf "%.0f%%" (100.0 *. frac);
+              Util.framework_name fw;
+              Util.speedup_s c ^ Util.feasible_s c;
+              Util.dsp_s ~device c;
+              Util.lut_s ~device c;
+            ])
+          [ `Scalehls; `Pom_auto ])
+      [ 0.25; 0.5; 0.75; 1.0 ]
+  in
+  Util.print_table
+    [ "Budget"; "Framework"; "Speedup"; "DSP (util)"; "LUT (util)" ]
+    rows;
+  print_endline "(paper shape: POM ahead at every budget, Fig. 11)"

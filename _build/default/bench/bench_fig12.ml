@@ -1,0 +1,27 @@
+(* Fig. 12: scalability of ScaleHLS and POM across problem sizes 32..8192
+   on the five typical kernels. *)
+
+let sizes = [ 32; 128; 512; 1024; 2048; 4096; 8192 ]
+
+let run () =
+  Util.section "Fig. 12 | Speedup across problem sizes (ScaleHLS | POM)";
+  let rows =
+    List.map
+      (fun (name, build) ->
+        name
+        :: List.map
+             (fun n ->
+               let s = Util.compile `Scalehls (build n) in
+               let p = Util.compile `Pom_auto (build n) in
+               Printf.sprintf "%.0f | %.0f" (Pom.speedup s) (Pom.speedup p))
+             sizes)
+      Bench_table3.kernels
+  in
+  Util.print_table
+    ("Benchmark" :: List.map string_of_int sizes)
+    rows;
+  print_endline
+    "(paper shape: comparable up to ~2048; ScaleHLS declines at 4096 and";
+  print_endline
+    " falls to pipeline-only at 8192, while POM keeps scaling; POM may be";
+  print_endline " slightly behind on very small sizes)"

@@ -1,0 +1,49 @@
+(* Fig. 13: accumulated resource usage across DNN critical loops — POM's
+   sequential execution reuses operators between layers (flat accumulation)
+   while ScaleHLS's dataflow instantiates every stage (rising accumulation
+   that overshoots the device). *)
+
+let accumulate groups =
+  let acc = ref Pom.Hls.Resource.zero in
+  List.map
+    (fun (names, usage) ->
+      acc := Pom.Hls.Resource.add !acc usage;
+      (String.concat "+" names, !acc))
+    groups
+
+let reused groups =
+  (* under operator reuse the running footprint is the max so far *)
+  let acc = ref Pom.Hls.Resource.zero in
+  List.map
+    (fun (names, usage) ->
+      acc := Pom.Hls.Resource.max_usage !acc usage;
+      (String.concat "+" names, !acc))
+    groups
+
+let print_series title series =
+  Printf.printf "\n%s (accumulated DSP | LUT after each loop):\n" title;
+  List.iteri
+    (fun k (name, (u : Pom.Hls.Resource.usage)) ->
+      if k < 6 || k mod 4 = 0 || k = List.length series - 1 then
+        Printf.printf "  %2d %-24s %4d | %6d\n" (k + 1)
+          (if String.length name > 24 then String.sub name 0 24 else name)
+          u.Pom.Hls.Resource.dsp u.Pom.Hls.Resource.lut)
+    series
+
+let run () =
+  Util.section "Fig. 13 | Accumulated resources across DNN critical loops";
+  List.iter
+    (fun (name, build) ->
+      Printf.printf "\n--- %s ---\n" name;
+      let p = Util.compile ~dnn:true `Pom_auto (build ()) in
+      let s = Util.compile ~dnn:true `Scalehls (build ()) in
+      print_series "POM (sequential, operators reused)"
+        (reused (Util.per_group_usage p));
+      print_series "ScaleHLS (dataflow, no reuse)"
+        (accumulate (Util.per_group_usage s));
+      Printf.printf "\ndevice: %d DSP, %d LUT\n" Util.device.Pom.Hls.Device.dsp
+        Util.device.Pom.Hls.Device.lut)
+    [
+      ("VGG-16", Pom.Workloads.Dnn.vgg16);
+      ("ResNet-18", Pom.Workloads.Dnn.resnet18);
+    ]

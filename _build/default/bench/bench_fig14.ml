@@ -1,0 +1,126 @@
+(* Fig. 14: impact analysis of scheduling primitives — cumulative
+   combinations per representative benchmark (LI = interchange, LT = tile,
+   LSK = skew, LP = pipeline, LU = unroll, AP = array partition). *)
+
+open Pom.Dsl
+
+let compile_with build directives =
+  let func = build () in
+  List.iter (Func.schedule func) directives;
+  Util.compile `Pom_manual func
+
+let edge_detect_configs =
+  let build () = Pom.Workloads.Image.edge_detect 4096 in
+  let stmts = [ "s_gx"; "s_gy"; "s_mag" ] in
+  let lp = List.map (fun s -> Schedule.pipeline s "x" 1) stmts in
+  let lu =
+    List.concat_map
+      (fun s ->
+        [
+          Schedule.split s "x" 8 "x_o" "x_i";
+          Schedule.pipeline s "x_o" 1;
+          Schedule.unroll s "x_i" 8;
+        ])
+      stmts
+  in
+  let ap =
+    List.map
+      (fun a -> Schedule.partition a [ 1; 1; 8 ] Schedule.Cyclic)
+      [ "I"; "Gx"; "Gy"; "Out" ]
+  in
+  ("EdgeDetect", build, [ ("LP", lp); ("LP+LU", lu); ("LP+LU+AP", lu @ ap) ])
+
+let mm2_configs =
+  let build () = Pom.Workloads.Polybench.mm2 4096 in
+  let stmts = [ "mm_tmp"; "mm_d" ] in
+  let lp = List.map (fun s -> Schedule.pipeline s "k" 1) stmts in
+  let li s = [ Schedule.interchange s "k" "j"; Schedule.interchange s "k" "i" ] in
+  let li_lp =
+    List.concat_map (fun s -> li s @ [ Schedule.pipeline s "j" 1 ]) stmts
+  in
+  let li_lt_lu =
+    List.concat_map
+      (fun s ->
+        li s
+        @ [
+            Schedule.tile s "i" "j" 2 16 "i0" "j0" "i1" "j1";
+            Schedule.pipeline s "j0" 1;
+            Schedule.unroll s "i1" 2;
+            Schedule.unroll s "j1" 16;
+          ])
+      stmts
+  in
+  let ap =
+    [
+      Schedule.partition "A" [ 2; 1 ] Schedule.Cyclic;
+      Schedule.partition "B" [ 1; 16 ] Schedule.Cyclic;
+      Schedule.partition "C" [ 1; 16 ] Schedule.Cyclic;
+      Schedule.partition "tmp" [ 2; 16 ] Schedule.Cyclic;
+      Schedule.partition "Dm" [ 2; 16 ] Schedule.Cyclic;
+    ]
+  in
+  ( "2MM",
+    build,
+    [
+      ("LP", lp);
+      ("LI+LP", li_lp);
+      ("LI+LT+LP+LU", li_lt_lu);
+      ("LI+LT+LP+LU+AP", li_lt_lu @ ap);
+    ] )
+
+let seidel_configs =
+  let build () = Pom.Workloads.Polybench.seidel 1024 in
+  let lp = [ Schedule.pipeline "s" "j" 1 ] in
+  let lu =
+    [
+      Schedule.split "s" "j" 8 "j_o" "j_i";
+      Schedule.pipeline "s" "j_o" 1;
+      Schedule.unroll "s" "j_i" 8;
+      Schedule.partition "A" [ 1; 8 ] Schedule.Cyclic;
+    ]
+  in
+  let lsk =
+    [
+      Schedule.skew "s" "i" "j" 2 1 "is" "js";
+      Schedule.interchange "s" "is" "js";
+      Schedule.pipeline "s" "is" 1;
+    ]
+  in
+  let lsk_full =
+    [
+      Schedule.skew "s" "i" "j" 2 1 "is" "js";
+      Schedule.interchange "s" "is" "js";
+      Schedule.split "s" "is" 8 "is_o" "is_i";
+      Schedule.pipeline "s" "is_o" 1;
+      Schedule.unroll "s" "is_i" 8;
+      Schedule.partition "A" [ 8; 8 ] Schedule.Cyclic;
+    ]
+  in
+  ( "Seidel",
+    build,
+    [
+      ("LP", lp);
+      ("LP+LU+AP", lu);
+      ("LSK+LP", lsk);
+      ("LSK+LP+LU+AP", lsk_full);
+    ] )
+
+let run () =
+  Util.section "Fig. 14 | Impact analysis of scheduling primitives";
+  List.iter
+    (fun (name, build, configs) ->
+      let rows =
+        List.map
+          (fun (label, directives) ->
+            let c = compile_with build directives in
+            [ name; label; Util.speedup_s c; Util.dsp_s c; Util.ii_s c ])
+          configs
+      in
+      Util.print_table
+        [ "Benchmark"; "Primitives"; "Speedup"; "DSP (util)"; "II" ]
+        rows;
+      print_newline ())
+    [ edge_detect_configs; mm2_configs; seidel_configs ];
+  print_endline
+    "(paper shape: EdgeDetect already gains from LP; Seidel needs LSK;";
+  print_endline " 2MM needs the full transformation + optimization stack)"

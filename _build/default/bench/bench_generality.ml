@@ -1,0 +1,36 @@
+(* Generality check (Table I's "apply to multiple domains" row): the five
+   additional PolyBench kernels — including the triangular trmm, whose
+   non-rectangular domain exercises the integer-set machinery end-to-end —
+   compiled by ScaleHLS and POM. *)
+
+let kernels =
+  [
+    ("ATAX", fun () -> Pom.Workloads.Polybench.atax 4096);
+    ("MVT", fun () -> Pom.Workloads.Polybench.mvt 4096);
+    ("SYRK", fun () -> Pom.Workloads.Polybench.syrk 1024);
+    ("TRMM", fun () -> Pom.Workloads.Polybench.trmm 1024);
+    ("DOITGEN", fun () -> Pom.Workloads.Polybench.doitgen ~np:64 256);
+  ]
+
+let run () =
+  Util.section "Generality | additional PolyBench kernels (ScaleHLS vs POM)";
+  let rows =
+    List.concat_map
+      (fun (name, build) ->
+        List.map
+          (fun fw ->
+            let c = Util.compile fw (build ()) in
+            [
+              name;
+              Util.framework_name fw;
+              Util.speedup_s c ^ Util.feasible_s c;
+              Util.ii_s c;
+              Util.dsp_s c;
+              Util.tiles_s c;
+            ])
+          [ `Scalehls; `Pom_auto ])
+      kernels
+  in
+  Util.print_table
+    [ "Benchmark"; "Framework"; "Speedup"; "II"; "DSP (util)"; "Tile sizes" ]
+    rows

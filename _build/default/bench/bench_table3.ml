@@ -1,0 +1,44 @@
+(* Table III: the main comparison on typical HLS benchmarks at problem
+   size 4096 — POLSCA / ScaleHLS / POM per kernel. *)
+
+let kernels =
+  [
+    ("GEMM", fun n -> Pom.Workloads.Polybench.gemm n);
+    ("BICG", fun n -> Pom.Workloads.Polybench.bicg n);
+    ("GESUMMV", fun n -> Pom.Workloads.Polybench.gesummv n);
+    ("2MM", fun n -> Pom.Workloads.Polybench.mm2 n);
+    ("3MM", fun n -> Pom.Workloads.Polybench.mm3 n);
+  ]
+
+let run () =
+  Util.section
+    "Table III | Typical HLS benchmarks (N = 4096): POLSCA / ScaleHLS / POM";
+  let n = 4096 in
+  let rows =
+    List.concat_map
+      (fun (name, build) ->
+        List.map
+          (fun fw ->
+            let c = Util.compile fw (build n) in
+            [
+              name;
+              Util.framework_name fw;
+              Util.speedup_s c ^ Util.feasible_s c;
+              Util.dsp_s c;
+              Util.ff_s c;
+              Util.lut_s c;
+              Util.power_s c;
+              Util.ii_s c;
+              Util.tiles_s c;
+              Util.parallelism_s c;
+              Util.dse_time_s c;
+            ])
+          [ `Polsca; `Scalehls; `Pom_auto ])
+      kernels
+  in
+  Util.print_table
+    [
+      "Benchmark"; "Framework"; "Speedup"; "DSP (util)"; "FF (util)";
+      "LUT (util)"; "Power(W)"; "II"; "Tile sizes"; "Parallel."; "DSE(s)";
+    ]
+    rows

@@ -1,0 +1,49 @@
+(* Table V: image-processing and DNN applications — ScaleHLS vs POM with
+   the P/S ratios the paper reports. *)
+
+let apps =
+  [
+    ("EdgeDetect", `Image, fun () -> Pom.Workloads.Image.edge_detect 4096);
+    ("Gaussian", `Image, fun () -> Pom.Workloads.Image.gaussian 4096);
+    ("Blur", `Image, fun () -> Pom.Workloads.Image.blur 4096);
+    ("VGG-16", `Dnn, fun () -> Pom.Workloads.Dnn.vgg16 ());
+    ("ResNet-18", `Dnn, fun () -> Pom.Workloads.Dnn.resnet18 ());
+  ]
+
+let ratio a b = Printf.sprintf "%.1f" (a /. b)
+
+let run () =
+  Util.section
+    "Table V | Image processing and DNN applications (ScaleHLS vs POM)";
+  let rows =
+    List.map
+      (fun (name, kind, build) ->
+        let dnn = kind = `Dnn in
+        let s = Util.compile ~dnn `Scalehls (build ()) in
+        let p = Util.compile ~dnn `Pom_auto (build ()) in
+        let us = Util.usage s and up = Util.usage p in
+        [
+          name;
+          Util.speedup_s s ^ Util.feasible_s s;
+          Util.speedup_s p ^ Util.feasible_s p;
+          ratio (Pom.speedup p) (Pom.speedup s);
+          Util.dsp_s s;
+          Util.dsp_s p;
+          ratio (float_of_int up.Pom.Hls.Resource.dsp)
+            (float_of_int (max 1 us.Pom.Hls.Resource.dsp));
+          Util.lut_s s;
+          Util.lut_s p;
+          ratio (float_of_int up.Pom.Hls.Resource.lut)
+            (float_of_int (max 1 us.Pom.Hls.Resource.lut));
+        ])
+      apps
+  in
+  Util.print_table
+    [
+      "Application"; "ScaleHLS"; "POM"; "P/S"; "S-DSP"; "P-DSP"; "P/S";
+      "S-LUT"; "P-LUT"; "P/S";
+    ]
+    rows;
+  print_endline
+    "([!] marks designs exceeding the device, as ScaleHLS's DNN dataflow";
+  print_endline " designs do in the paper's Table V)"

@@ -1,0 +1,28 @@
+(* Table VI: per-critical-loop tile sizes, achieved II, and parallelism on
+   the image kernels. *)
+
+let run () =
+  Util.section "Table VI | Critical-loop optimization on image kernels";
+  let rows =
+    List.concat_map
+      (fun (name, build) ->
+        List.map
+          (fun fw ->
+            let c = Util.compile fw (build ()) in
+            [
+              name;
+              Util.framework_name fw;
+              Util.tiles_s c;
+              Util.ii_s c;
+              Util.parallelism_s c;
+            ])
+          [ `Scalehls; `Pom_auto ])
+      [
+        ("EdgeDetect", fun () -> Pom.Workloads.Image.edge_detect 4096);
+        ("Gaussian", fun () -> Pom.Workloads.Image.gaussian 4096);
+        ("Blur", fun () -> Pom.Workloads.Image.blur 4096);
+      ]
+  in
+  Util.print_table
+    [ "Benchmark"; "Framework"; "Tile sizes"; "Achieved II"; "Parallelism" ]
+    rows

@@ -1,0 +1,195 @@
+(* pom_compile: compile a built-in workload through a chosen framework and
+   print the virtual synthesis report (and optionally the HLS C). *)
+
+open Cmdliner
+
+let workloads () =
+  List.map
+    (fun (n, f) -> (n, fun size -> f size))
+    Pom.Workloads.Polybench.by_name
+  @ List.map (fun (n, f) -> (n, fun size -> f size)) Pom.Workloads.Image.by_name
+  @ List.map
+      (fun (n, f) -> (n, fun _ -> f ()))
+      Pom.Workloads.Dnn.by_name
+
+let framework_of_string = function
+  | "baseline" -> Ok `Baseline
+  | "pluto" -> Ok `Pluto
+  | "polsca" -> Ok `Polsca
+  | "scalehls" -> Ok `Scalehls
+  | "pom-manual" -> Ok `Pom_manual
+  | "pom" | "pom-auto" -> Ok `Pom_auto
+  | s -> Error (`Msg ("unknown framework " ^ s))
+
+let run workload from_c size framework emit_c emit_mlir emit_testbench
+    validate check_legality timeline trace resource_frac list_workloads =
+  if list_workloads then begin
+    List.iter (fun (n, _) -> print_endline n) (workloads ());
+    0
+  end
+  else
+    let named_builder =
+      match from_c with
+      | Some path -> (
+          try
+            let func = Pom.Cfront.Parse.parse_file path in
+            Some (Pom.Dsl.Func.name func, fun _ -> func)
+          with Pom.Cfront.Parse.Parse_error m | Pom.Cfront.Lexer.Lex_error m ->
+            Printf.eprintf "%s: %s\n" path m;
+            exit 1)
+      | None ->
+          Option.map (fun b -> (workload, b)) (List.assoc_opt workload (workloads ()))
+    in
+    match named_builder with
+    | None ->
+        Printf.eprintf "unknown workload %s (try --list)\n" workload;
+        1
+    | Some builder_pair -> (
+        match framework_of_string framework with
+        | Error (`Msg m) ->
+            prerr_endline m;
+            1
+        | Ok fw ->
+            let workload, build = (fst builder_pair, snd builder_pair) in
+            let device =
+              Pom.Hls.Device.scale resource_frac Pom.Hls.Device.xc7z020
+            in
+            let dnn = List.mem_assoc workload Pom.Workloads.Dnn.by_name in
+            let func = build size in
+            let c = Pom.compile ~device ~framework:fw ~dnn func in
+            Format.printf "workload:    %s (size %d)@." workload size;
+            Format.printf "framework:   %s@." framework;
+            Format.printf "report:      %a@." Pom.Hls.Report.pp c.Pom.report;
+            Format.printf "speedup:     %.1fx over unoptimized (%d cycles)@."
+              (Pom.speedup c) c.Pom.baseline_latency;
+            if c.Pom.dse_time_s > 0.0 then
+              Format.printf "DSE time:    %.2f s@." c.Pom.dse_time_s;
+            List.iter
+              (fun (name, v) ->
+                Format.printf "tiles %-10s [%s]@." name
+                  (String.concat ", " (List.map string_of_int v)))
+              c.Pom.tile_vectors;
+            if validate then begin
+              let vsize = if from_c = None then min size 32 else size in
+              let small = build vsize in
+              let cv = Pom.compile ~device ~framework:fw ~dnn small in
+              Format.printf "validation:  max divergence %g (size %d)@."
+                (Pom.validate small cv) vsize
+            end;
+            if check_legality then begin
+              match Pom.check_legality func c with
+              | [] -> Format.printf "legality:    all dependences preserved@."
+              | vs ->
+                  List.iter
+                    (Format.printf "legality:    %a@."
+                       Pom.Polyir.Legality.pp_violation)
+                    vs
+            end;
+            if trace then begin
+              match fw with
+              | `Pom_auto ->
+                  let o = Pom.Dse.Engine.run ~device func in
+                  List.iter
+                    (Format.printf "trace:       %s@.")
+                    o.Pom.Dse.Engine.result.Pom.Dse.Stage2.trace
+              | _ -> Format.printf "trace:       (only for -f pom)@."
+            end;
+            if timeline then begin
+              print_newline ();
+              print_string (Pom.Hls.Timeline.render c.Pom.prog)
+            end;
+            if emit_mlir then begin
+              print_newline ();
+              print_string (Pom.mlir c)
+            end;
+            if emit_c then begin
+              print_newline ();
+              print_string c.Pom.hls_c
+            end;
+            if emit_testbench then begin
+              print_newline ();
+              print_string
+                (Pom.Emit.Emit.testbench
+                   (Pom.Affine.Passes.simplify
+                      (Pom.Affine.Lower.lower c.Pom.prog)))
+            end;
+            0)
+
+let from_c_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "from-c" ]
+        ~doc:"Parse the kernel from an HLS C file instead of a built-in workload.")
+
+let workload_arg =
+  Arg.(value & opt string "gemm" & info [ "w"; "workload" ] ~doc:"Workload name.")
+
+let size_arg =
+  Arg.(value & opt int 1024 & info [ "s"; "size" ] ~doc:"Problem size.")
+
+let framework_arg =
+  Arg.(
+    value
+    & opt string "pom"
+    & info [ "f"; "framework" ]
+        ~doc:"One of baseline, pluto, polsca, scalehls, pom-manual, pom.")
+
+let emit_c_arg =
+  Arg.(value & flag & info [ "emit-c" ] ~doc:"Print the generated HLS C.")
+
+let emit_testbench_arg =
+  Arg.(
+    value & flag
+    & info [ "emit-testbench" ]
+        ~doc:"Print a self-contained C testbench (kernel + checksum main).")
+
+let emit_mlir_arg =
+  Arg.(
+    value & flag
+    & info [ "emit-mlir" ]
+        ~doc:"Print the annotated affine dialect as textual MLIR.")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:"Check schedule correctness with the functional simulator.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the DSE engine's bottleneck-search decision log.")
+
+let timeline_arg =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:"Print a Fig. 2-style iteration/cycle schedule timeline.")
+
+let check_legality_arg =
+  Arg.(
+    value & flag
+    & info [ "check-legality" ]
+        ~doc:"Prove the schedule preserves every dependence (polyhedral check).")
+
+let frac_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "resource-fraction" ]
+        ~doc:"Scale the device resource budget (Fig. 11 sweeps).")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available workloads.")
+
+let cmd =
+  let doc = "POM: generate an optimized FPGA accelerator for a workload" in
+  Cmd.v
+    (Cmd.info "pom_compile" ~doc)
+    Term.(
+      const run $ workload_arg $ from_c_arg $ size_arg $ framework_arg
+      $ emit_c_arg $ emit_mlir_arg $ emit_testbench_arg $ validate_arg
+      $ check_legality_arg $ timeline_arg $ trace_arg $ frac_arg $ list_arg)
+
+let () = exit (Cmd.eval' cmd)

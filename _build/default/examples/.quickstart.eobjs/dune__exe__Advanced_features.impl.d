@@ -1,0 +1,1 @@
+examples/advanced_features.ml: Dtype Expr Format Func List Placeholder Pom Schedule String Var

@@ -1,0 +1,1 @@
+examples/dnn_resnet.ml: Format List Pom

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Dtype Expr Format Func List Placeholder Pom String Var

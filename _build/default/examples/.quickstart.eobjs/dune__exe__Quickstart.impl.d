@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dtype Expr Format Func Placeholder Pom Schedule Var

@@ -1,0 +1,1 @@
+examples/stencil_jacobi.ml: Dtype Expr Format Func List Placeholder Pom Schedule Var

@@ -1,0 +1,36 @@
+(* ResNet-18 on one embedded FPGA: the Fig. 13 experiment in miniature.
+
+   POM executes DNN layers sequentially and reuses operators between
+   layers, so every layer sees the whole device; ScaleHLS composes layers
+   as a dataflow pipeline without sharing, so each layer gets a slice and
+   the design can exceed the device (the infeasible Table V entries).
+
+   Run with: dune exec examples/dnn_resnet.exe *)
+
+let () =
+  let device = Pom.Hls.Device.xc7z020 in
+  let func = Pom.Workloads.Dnn.resnet18 () in
+  Format.printf "ResNet-18: %d computes, %d critical loops (> 4 levels)@."
+    (List.length (Pom.Dsl.Func.computes func))
+    (Pom.Workloads.Dnn.critical_loops func);
+
+  let pom = Pom.compile ~device ~framework:`Pom_auto ~dnn:true func in
+  Format.printf "@.POM (sequential, resource reuse):@.  %a@.  speedup %.1fx@."
+    Pom.Hls.Report.pp pom.Pom.report (Pom.speedup pom);
+
+  let shls =
+    Pom.compile ~device ~framework:`Scalehls ~dnn:true
+      (Pom.Workloads.Dnn.resnet18 ())
+  in
+  Format.printf "@.ScaleHLS (dataflow, no reuse):@.  %a@.  speedup %.1fx@."
+    Pom.Hls.Report.pp shls.Pom.report (Pom.speedup shls);
+  Format.printf "@.P/S speedup ratio: %.2f;  DSP ratio: %.2f;  LUT ratio: %.2f@."
+    (Pom.speedup pom /. Pom.speedup shls)
+    (float_of_int pom.Pom.report.Pom.Hls.Report.usage.Pom.Hls.Resource.dsp
+    /. float_of_int shls.Pom.report.Pom.Hls.Report.usage.Pom.Hls.Resource.dsp)
+    (float_of_int pom.Pom.report.Pom.Hls.Report.usage.Pom.Hls.Resource.lut
+    /. float_of_int shls.Pom.report.Pom.Hls.Report.usage.Pom.Hls.Resource.lut);
+  if not shls.Pom.report.Pom.Hls.Report.feasible then
+    Format.printf
+      "ScaleHLS design exceeds the device (as in Table V: its utilization \
+       passes 100%%)@."

@@ -1,0 +1,9 @@
+/* BICG: two statements fused in one nest, the paper's motivating example. */
+void bicg(float A[256][256], float s[256], float q[256], float p[256], float r[256]) {
+  for (int i = 0; i < 256; i++) {
+    for (int j = 0; j < 256; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}

@@ -1,0 +1,7 @@
+// PolyBench GEMM in the HLS C subset the front-end accepts.
+void gemm(float D[256][256], float A[256][256], float B[256][256]) {
+  for (int i = 0; i < 256; i++)
+    for (int j = 0; j < 256; j++)
+      for (int k = 0; k < 256; k++)
+        D[i][j] += A[i][k] * B[k][j];
+}

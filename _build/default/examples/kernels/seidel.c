@@ -1,0 +1,9 @@
+// In-place Gauss-Seidel sweep: tight dependences that need loop skewing.
+void seidel(float A[66][66]) {
+  for (int t = 0; t < 8; t++)
+    for (int i = 1; i <= 64; i++)
+      for (int j = 1; j <= 64; j++)
+        A[i][j] = (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1]
+                 + A[i][j-1] + A[i][j] + A[i][j+1]
+                 + A[i+1][j-1] + A[i+1][j] + A[i+1][j+1]) / 9.0f;
+}

@@ -1,0 +1,7 @@
+// Triangular matrix multiply: a non-rectangular (where-clause) domain.
+void trmm(float B[64][64], float A[64][64]) {
+  for (int i = 0; i < 64; i++)
+    for (int j = 0; j < 64; j++)
+      for (int k = i + 1; k < 64; k++)
+        B[i][j] += A[k][i] * B[k][j];
+}

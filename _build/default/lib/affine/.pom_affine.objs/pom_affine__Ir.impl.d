@@ -1,0 +1,1 @@
+lib/affine/ir.ml: Ast Constr Expr Format Linexpr List Placeholder Pom_dsl Pom_poly Schedule

@@ -1,0 +1,1 @@
+lib/affine/ir.mli: Expr Format Placeholder Pom_dsl Pom_poly Schedule

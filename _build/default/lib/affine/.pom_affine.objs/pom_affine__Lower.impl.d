@@ -1,0 +1,1 @@
+lib/affine/lower.ml: Ast Compute Expr Func Ir Linexpr List Placeholder Pom_dsl Pom_poly Pom_polyir Prog Schedule Stmt_poly

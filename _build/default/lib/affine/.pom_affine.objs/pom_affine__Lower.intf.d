@@ -1,0 +1,1 @@
+lib/affine/lower.mli: Ir Pom_dsl Pom_poly Pom_polyir

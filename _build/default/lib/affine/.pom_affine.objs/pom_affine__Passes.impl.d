@@ -1,0 +1,1 @@
+lib/affine/passes.ml: Constr Ir List Pom_poly

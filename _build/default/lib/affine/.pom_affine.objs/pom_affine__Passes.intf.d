@@ -1,0 +1,1 @@
+lib/affine/passes.mli: Ir

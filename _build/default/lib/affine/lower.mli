@@ -1,0 +1,12 @@
+(** Lowering from the polyhedral IR to the annotated affine dialect
+    (Fig. 9 (d)): the polyhedral AST's for/if/user nodes map to affine
+    loops, guards, and statements; the computation statements reserved in
+    the DSL are re-indexed through each statement's index map and user
+    bindings; hardware-optimization attributes attached at the polyhedral
+    level surface as loop attributes. *)
+
+val lower : Pom_polyir.Prog.t -> Ir.func
+
+(** Convert an affine expression to a DSL index expression (used when
+    rewriting statement bodies over the AST iterators). *)
+val index_of_linexpr : Pom_poly.Linexpr.t -> Pom_dsl.Expr.index

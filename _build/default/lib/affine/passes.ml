@@ -1,0 +1,45 @@
+open Pom_poly
+
+let rec merge_node = function
+  | Ir.If (g1, [ Ir.If (g2, body) ]) -> merge_node (Ir.If (g1 @ g2, body))
+  | Ir.If (g, body) -> Ir.If (g, merge_guards body)
+  | Ir.For { iter; lbs; ubs; attrs; body } ->
+      Ir.For { iter; lbs; ubs; attrs; body = merge_guards body }
+  | Ir.Op _ as op -> op
+
+and merge_guards nodes = List.map merge_node nodes
+
+(* Split one loop's body guards into conjuncts mentioning the iterator and
+   conjuncts that can move outside the loop. *)
+let rec hoist_node = function
+  | Ir.For { iter; lbs; ubs; attrs; body } -> (
+      let body = hoist_guards body in
+      match body with
+      | [ Ir.If (guards, inner) ] ->
+          let dependent, invariant =
+            List.partition (fun c -> List.mem iter (Constr.dims c)) guards
+          in
+          let loop_body =
+            if dependent = [] then inner else [ Ir.If (dependent, inner) ]
+          in
+          let loop = Ir.For { iter; lbs; ubs; attrs; body = loop_body } in
+          if invariant = [] then loop else Ir.If (invariant, [ loop ])
+      | body -> Ir.For { iter; lbs; ubs; attrs; body })
+  | Ir.If (g, body) -> Ir.If (g, hoist_guards body)
+  | Ir.Op _ as op -> op
+
+and hoist_guards nodes = List.map hoist_node nodes
+
+let rec drop_trivial_node = function
+  | Ir.If (guards, body) -> (
+      let guards = List.filter (fun c -> not (Constr.is_tautology c)) guards in
+      let body = drop_trivial body in
+      match guards with [] -> body | _ -> [ Ir.If (guards, body) ])
+  | Ir.For { iter; lbs; ubs; attrs; body } ->
+      [ Ir.For { iter; lbs; ubs; attrs; body = drop_trivial body } ]
+  | Ir.Op _ as op -> [ op ]
+
+and drop_trivial nodes = List.concat_map drop_trivial_node nodes
+
+let simplify (f : Ir.func) =
+  { f with Ir.body = drop_trivial (hoist_guards (merge_guards f.Ir.body)) }

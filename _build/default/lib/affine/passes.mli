@@ -1,0 +1,14 @@
+(** Cleanup passes on the annotated affine dialect, run before emission:
+
+    - {!merge_guards} flattens nested [If] nodes into one conjunction;
+    - {!hoist_guards} moves guard conjuncts that do not depend on a loop's
+      iterator out of that loop, so a guard introduced by fusing statements
+      with different domains is tested once per outer iteration instead of
+      once per point;
+    - {!simplify} composes both and drops statically-true guards. *)
+
+val merge_guards : Ir.node list -> Ir.node list
+
+val hoist_guards : Ir.node list -> Ir.node list
+
+val simplify : Ir.func -> Ir.func

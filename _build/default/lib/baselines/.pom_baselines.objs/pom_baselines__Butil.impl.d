@@ -1,0 +1,1 @@
+lib/baselines/butil.ml: Array Compute Func List Pom_dsl Pom_polyir Schedule String Var

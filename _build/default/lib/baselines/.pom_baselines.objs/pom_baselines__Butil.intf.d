@@ -1,0 +1,1 @@
+lib/baselines/butil.mli: Func Pom_dsl Pom_polyir Schedule

@@ -1,0 +1,1 @@
+lib/baselines/manual.ml: Butil Pom_dsl Pom_hls Pom_polyir Pom_workloads Schedule

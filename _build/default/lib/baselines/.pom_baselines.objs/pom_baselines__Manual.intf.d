@@ -1,0 +1,1 @@
+lib/baselines/manual.mli: Pom_dsl Pom_hls Pom_polyir Schedule

@@ -1,0 +1,1 @@
+lib/baselines/pluto.ml: Butil Pom_dsl Pom_hls Pom_polyir Schedule

@@ -1,0 +1,1 @@
+lib/baselines/polsca.ml: Butil Compute Func List Pom_dsl Pom_hls Pom_polyir Schedule

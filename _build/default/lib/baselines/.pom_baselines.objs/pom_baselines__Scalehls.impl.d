@@ -1,0 +1,1 @@
+lib/baselines/scalehls.ml: Butil Compute Device Func Int Latency List Pom_depgraph Pom_dse Pom_dsl Pom_hls Pom_poly Pom_polyir Prog Report Resource Schedule Stage2 Stmt_poly Summary Sys Var

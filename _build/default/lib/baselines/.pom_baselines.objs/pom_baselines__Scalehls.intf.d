@@ -1,0 +1,1 @@
+lib/baselines/scalehls.mli: Func Pom_dsl Pom_hls Pom_polyir Schedule

@@ -1,0 +1,83 @@
+open Pom_dsl
+
+let realize_order compute current desired =
+  let cur = Array.of_list current in
+  let swaps = ref [] in
+  List.iteri
+    (fun i want ->
+      if cur.(i) <> want then begin
+        let j = ref i in
+        Array.iteri (fun k d -> if d = want then j := k) cur;
+        swaps := Schedule.interchange compute cur.(i) want :: !swaps;
+        let tmp = cur.(i) in
+        cur.(i) <- cur.(!j);
+        cur.(!j) <- tmp
+      end)
+    desired;
+  List.rev !swaps
+
+let locality_tiling ?(tile = 32) ?(exclude = []) func =
+  let per_compute =
+    List.map
+      (fun (c : Compute.t) ->
+        let name = c.Compute.name in
+        let tiled =
+          if List.mem name exclude then []
+          else
+            List.filter
+              (fun (v : Var.t) -> Var.extent v >= 2 * tile)
+              c.Compute.iters
+        in
+        let splits =
+          List.map
+            (fun (v : Var.t) ->
+              Schedule.split name v.Var.name tile (v.Var.name ^ "_T")
+                (v.Var.name ^ "_t"))
+            tiled
+        in
+        (* order after splits: each tiled dim becomes (d_T, d_t) in place *)
+        let after_splits =
+          List.concat_map
+            (fun (v : Var.t) ->
+              if List.memq v tiled then [ v.Var.name ^ "_T"; v.Var.name ^ "_t" ]
+              else [ v.Var.name ])
+            c.Compute.iters
+        in
+        let desired =
+          List.filter_map
+            (fun (v : Var.t) ->
+              if List.memq v tiled then Some (v.Var.name ^ "_T") else None)
+            c.Compute.iters
+          @ List.map
+              (fun (v : Var.t) ->
+                if List.memq v tiled then v.Var.name ^ "_t" else v.Var.name)
+              c.Compute.iters
+        in
+        (splits @ realize_order name after_splits desired, (name, desired)))
+      (Func.computes func)
+  in
+  (List.concat_map fst per_compute, List.map snd per_compute)
+
+let fused_computes func =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun d ->
+         match (d : Schedule.t) with
+         | Schedule.After { compute; anchor; level } when level >= 1 ->
+             [ compute; anchor ]
+         | Schedule.Fuse { c1; c2; level } when level >= 1 -> [ c1; c2 ]
+         | _ -> [])
+       (Func.directives func))
+
+let structural_directives func =
+  List.filter
+    (fun d ->
+      match (d : Schedule.t) with
+      | Schedule.After { level; _ } | Schedule.Fuse { level; _ } -> level >= 1
+      | _ -> false)
+    (Func.directives func)
+
+let schedule func directives =
+  List.fold_left Pom_polyir.Prog.apply
+    (Pom_polyir.Prog.of_func_unscheduled func)
+    directives

@@ -1,0 +1,24 @@
+(** Shared helpers for the reimplemented comparator frameworks. *)
+
+open Pom_dsl
+
+(** Interchange directives turning loop order [current] into [desired]. *)
+val realize_order : string -> string list -> string list -> Schedule.t list
+
+(** Pluto-style locality tiling: strip-mine every dimension whose extent
+    reaches [2 * tile] and hoist the tile loops outward, per compute.
+    Returns the directives and, per compute, the resulting loop order. *)
+val locality_tiling :
+  ?tile:int ->
+  ?exclude:string list ->
+  Func.t ->
+  Schedule.t list * (string * string list) list
+
+(** Computes named in any structural fusion directive. *)
+val fused_computes : Func.t -> string list
+
+(** The user's structural fusion directives (to be preserved verbatim). *)
+val structural_directives : Func.t -> Schedule.t list
+
+(** Apply directives to the unscheduled program. *)
+val schedule : Func.t -> Schedule.t list -> Pom_polyir.Prog.t

@@ -1,0 +1,32 @@
+open Pom_dsl
+
+type result = {
+  directives : Schedule.t list;
+  prog : Pom_polyir.Prog.t;
+  report : Pom_hls.Report.t;
+}
+
+let bicg ?(device = Pom_hls.Device.xc7z020) n =
+  let func = Pom_workloads.Polybench.bicg n in
+  let u = 24 in
+  let directives =
+    [
+      (* distribute: drop the fused nest, keep the two loops sequential *)
+      (* interchange the q statement so its reduction moves outward *)
+      Schedule.interchange "s_q" "i" "j";
+      (* each loop: strip-mine the parallel dimension, pipeline, unroll *)
+      Schedule.split "s_s" "j" u "j_o" "j_i";
+      Schedule.pipeline "s_s" "j_o" 1;
+      Schedule.unroll "s_s" "j_i" u;
+      Schedule.split "s_q" "i" u "i_o" "i_i";
+      Schedule.pipeline "s_q" "i_o" 1;
+      Schedule.unroll "s_q" "i_i" u;
+      (* the expert under-partitions the shared matrix (banks are costly),
+         accepting II = 2 on each loop *)
+      Schedule.partition "A" [ 8; 8 ] Schedule.Cyclic;
+      Schedule.partition "s" [ 8 ] Schedule.Cyclic;
+      Schedule.partition "q" [ 8 ] Schedule.Cyclic;
+    ]
+  in
+  let prog = Butil.schedule func directives in
+  { directives; prog; report = Pom_hls.Report.synthesize ~device prog }

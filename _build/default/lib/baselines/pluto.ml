@@ -1,0 +1,15 @@
+open Pom_dsl
+
+type result = {
+  directives : Schedule.t list;
+  prog : Pom_polyir.Prog.t;
+  report : Pom_hls.Report.t;
+}
+
+let run ?(device = Pom_hls.Device.xc7z020) func =
+  let tiling, _ =
+    Butil.locality_tiling ~exclude:(Butil.fused_computes func) func
+  in
+  let directives = tiling @ Butil.structural_directives func in
+  let prog = Butil.schedule func directives in
+  { directives; prog; report = Pom_hls.Report.synthesize ~device prog }

@@ -1,0 +1,11 @@
+(** The Pluto comparator: automatic polyhedral locality optimization
+    targeting multi-core CPUs — tiles for cache locality and parallelizes
+    outer loops, but emits no FPGA-oriented pragmas (no pipelining, no
+    unrolling, no array partitioning).  On an FPGA the resulting design
+    executes essentially sequentially, which is the Fig. 2 observation. *)
+
+open Pom_dsl
+
+type result = { directives : Schedule.t list; prog : Pom_polyir.Prog.t; report : Pom_hls.Report.t }
+
+val run : ?device:Pom_hls.Device.t -> Func.t -> result

@@ -1,0 +1,27 @@
+open Pom_dsl
+
+type result = {
+  directives : Schedule.t list;
+  prog : Pom_polyir.Prog.t;
+  report : Pom_hls.Report.t;
+}
+
+let run ?(device = Pom_hls.Device.xc7z020) func =
+  let tiling, orders =
+    Butil.locality_tiling ~exclude:(Butil.fused_computes func) func
+  in
+  let pipelines =
+    List.map
+      (fun (c : Compute.t) ->
+        let name = c.Compute.name in
+        let order =
+          match List.assoc_opt name orders with
+          | Some o when o <> [] -> o
+          | _ -> Compute.iter_names c
+        in
+        Schedule.pipeline name (List.nth order (List.length order - 1)) 1)
+      (Func.computes func)
+  in
+  let directives = tiling @ Butil.structural_directives func @ pipelines in
+  let prog = Butil.schedule func directives in
+  { directives; prog; report = Pom_hls.Report.synthesize ~device prog }

@@ -1,0 +1,11 @@
+(** The POLSCA comparator: Pluto's schedule driven into an HLS back-end —
+    locality tiling plus loop pipelining, but no dependence-aware
+    restructuring, no unrolling, and no array partitioning for large
+    problem sizes.  Loop-carried dependences left in the Pluto schedule
+    dominate the achieved II (the paper's Section VII-B analysis). *)
+
+open Pom_dsl
+
+type result = { directives : Schedule.t list; prog : Pom_polyir.Prog.t; report : Pom_hls.Report.t }
+
+val run : ?device:Pom_hls.Device.t -> Func.t -> result

@@ -1,0 +1,221 @@
+open Pom_dsl
+open Pom_polyir
+open Pom_hls
+open Pom_dse
+
+type result = {
+  directives : Schedule.t list;
+  prog : Prog.t;
+  report : Report.t;
+  dse_time_s : float;
+  tile_vectors : (string * int list) list;
+  evaluations : int;
+}
+
+(* Interchange-only transformation stage: fused nests receive a single
+   permutation (the first statement that asks for one wins), so the other
+   statements may be left with tight dependences. *)
+let interchange_stage func =
+  let graph = Pom_depgraph.Graph.build func in
+  let reorder_of (node : Pom_depgraph.Graph.node) =
+    match Pom_depgraph.Hints.suggest node.Pom_depgraph.Graph.fine with
+    | Pom_depgraph.Hints.Reorder order -> Some order
+    | Pom_depgraph.Hints.Keep | Pom_depgraph.Hints.Skew_hint _
+    | Pom_depgraph.Hints.Tight _ ->
+        None
+  in
+  let fused = Butil.fused_computes func in
+  let fused_order =
+    List.find_map
+      (fun n ->
+        if List.mem n.Pom_depgraph.Graph.compute.Compute.name fused then
+          reorder_of n
+        else None)
+      (Pom_depgraph.Graph.nodes graph)
+  in
+  List.concat_map
+    (fun (node : Pom_depgraph.Graph.node) ->
+      let c = node.Pom_depgraph.Graph.compute in
+      let current = Compute.iter_names c in
+      let desired =
+        if List.mem c.Compute.name fused then fused_order
+        else reorder_of node
+      in
+      match desired with
+      | Some order when List.sort compare order = List.sort compare current ->
+          Butil.realize_order c.Compute.name current order
+      | Some _ | None -> [])
+    (Pom_depgraph.Graph.nodes graph)
+
+(* Denser factor ladder than POM's doubling: more trials, longer DSE. *)
+let ladder = [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64 ]
+
+type unit_state = {
+  id : int;
+  members : (string * string list * int list) list;
+  mutable par : int;
+  mutable realization : Stage2.realization list;
+}
+
+let member_info (s : Stmt_poly.t) =
+  let order = Stmt_poly.loop_order s in
+  let extents =
+    List.map
+      (fun dim ->
+        match Pom_poly.Basic_set.const_range dim s.Stmt_poly.domain with
+        | Some lb, Some ub -> ub - lb + 1
+        | _ -> invalid_arg "Scalehls: unbounded loop")
+      order
+  in
+  (Stmt_poly.name s, order, extents)
+
+let realize_unit u =
+  u.realization <-
+    List.map
+      (fun (c, order, extents) -> Stage2.realize c order extents u.par)
+      u.members
+
+let evaluate ~device ~latency_mode func base units =
+  let hw =
+    List.concat_map
+      (fun u ->
+        List.concat_map (fun r -> r.Stage2.hw_directives) u.realization)
+      units
+  in
+  let prog0 = Butil.schedule func (base @ hw) in
+  let parts = Stage2.partition_plan prog0 in
+  let prog = List.fold_left Prog.apply prog0 parts in
+  let report =
+    Report.synthesize ~composition:Resource.Dataflow ~latency_mode ~device prog
+  in
+  (prog, base @ hw @ parts, report)
+
+(* Per-unit operator usage — the quantity ScaleHLS's per-loop budget check
+   sees (global banking overhead is not in it).  Each check re-profiles the
+   program, so it counts as a QoR evaluation. *)
+let unit_usage ?count prog u =
+  (match count with Some c -> incr c | None -> ());
+  let profiles = Summary.profile_all prog in
+  let mine =
+    List.filter (fun p -> p.Summary.group = u.id) profiles
+  in
+  let partitions = Report.partition_fn prog in
+  let eval = Latency.eval_group ~partitions mine in
+  Resource.group_usage mine eval
+
+let usage_fits (budget : Resource.usage) (u : Resource.usage) =
+  u.Resource.dsp <= budget.Resource.dsp
+  && u.Resource.lut <= budget.Resource.lut
+  && u.Resource.ff <= budget.Resource.ff
+
+let usage_sub (a : Resource.usage) (b : Resource.usage) =
+  {
+    Resource.dsp = a.Resource.dsp - b.Resource.dsp;
+    lut = a.Resource.lut - b.Resource.lut;
+    ff = a.Resource.ff - b.Resource.ff;
+    bram = a.Resource.bram - b.Resource.bram;
+  }
+
+let run ?(device = Device.xc7z020) ?(dnn = false) func =
+  let t0 = Sys.time () in
+  let latency_mode = if dnn then `Dataflow else `Sequential in
+  let base = interchange_stage func @ Butil.structural_directives func in
+  let prog_base = Butil.schedule func base in
+  let huge =
+    List.exists
+      (fun (c : Compute.t) ->
+        List.exists (fun (v : Var.t) -> Var.extent v >= 8192) c.Compute.iters)
+      (Func.computes func)
+  in
+  let units =
+    let ids =
+      List.sort_uniq Int.compare
+        (List.map
+           (fun (s : Stmt_poly.t) ->
+             Pom_poly.Sched.const_at s.Stmt_poly.sched 0)
+           prog_base.Prog.stmts)
+    in
+    List.map
+      (fun id ->
+        let members =
+          List.filter_map
+            (fun (s : Stmt_poly.t) ->
+              if Pom_poly.Sched.const_at s.Stmt_poly.sched 0 = id then
+                Some (member_info s)
+              else None)
+            prog_base.Prog.stmts
+        in
+        let u = { id; members; par = 1; realization = [] } in
+        realize_unit u;
+        u)
+      ids
+  in
+  let evaluations = ref 0 in
+  let eval () =
+    incr evaluations;
+    evaluate ~device ~latency_mode func base units
+  in
+  let current = ref (eval ()) in
+  let budget =
+    ref
+      {
+        Resource.dsp = device.Device.dsp;
+        lut = device.Device.lut;
+        ff = device.Device.ff;
+        bram = Resource.bram18_blocks device;
+      }
+  in
+  if not huge then
+    List.iter
+      (fun u ->
+        (* greedy: push this unit as far as the remaining budget allows *)
+        let continue_ = ref true in
+        List.iter
+          (fun par ->
+            if !continue_ then begin
+              let saved_par = u.par and saved_real = u.realization in
+              u.par <- par;
+              realize_unit u;
+              let ((trial_prog, _, trial_report) as trial) = eval () in
+              let usage = unit_usage ~count:evaluations trial_prog u in
+              let _, _, cur_report = !current in
+              if
+                usage_fits !budget usage
+                && trial_report.Report.latency < cur_report.Report.latency
+              then current := trial
+              else if
+                usage_fits !budget usage
+                && trial_report.Report.latency = cur_report.Report.latency
+              then begin
+                (* ladder step changed nothing (factor saturation): back it
+                   out but keep climbing *)
+                u.par <- saved_par;
+                u.realization <- saved_real
+              end
+              else begin
+                u.par <- saved_par;
+                u.realization <- saved_real;
+                continue_ := false
+              end
+            end)
+          ladder;
+        let prog, _, _ = !current in
+        budget := usage_sub !budget (unit_usage ~count:evaluations prog u))
+      units;
+  let prog, directives, report = !current in
+  let tile_vectors =
+    List.concat_map
+      (fun u ->
+        List.map2
+          (fun (c, _, _) (r : Stage2.realization) -> (c, r.Stage2.tile_vector))
+          u.members u.realization)
+      units
+  in
+  {
+    directives;
+    prog;
+    report;
+    dse_time_s = Sys.time () -. t0;
+    tile_vectors;
+    evaluations = !evaluations;
+  }

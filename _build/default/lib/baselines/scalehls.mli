@@ -1,0 +1,30 @@
+(** The ScaleHLS comparator: the first MLIR HLS flow, reimplemented at the
+    strategy level.  It shares POM's move space (interchange, tiling,
+    pipelining, unrolling, partitioning) but differs in exactly the ways
+    the paper identifies:
+
+    - single-IR loop transformations only: no loop distribution, no
+      skewing, no re-fusion — a fused nest gets one interchange applied to
+      every statement, so conflicting dependence requirements (BICG) leave
+      one statement tight;
+    - greedy program-order design-space exploration instead of
+      bottleneck-oriented search, so early loops exhaust the budget
+      (the 2MM/3MM allocation of Table III);
+    - no operator reuse across loops (dataflow composition): resources sum,
+      and its per-loop budget check under-counts global banking overhead,
+      which is how its DNN designs exceed 100% utilization (Table V);
+    - degraded search at very large problem sizes (>= 8192): only basic
+      pipelining is applied (Fig. 12). *)
+
+open Pom_dsl
+
+type result = {
+  directives : Schedule.t list;
+  prog : Pom_polyir.Prog.t;
+  report : Pom_hls.Report.t;
+  dse_time_s : float;
+  tile_vectors : (string * int list) list;
+  evaluations : int;
+}
+
+val run : ?device:Pom_hls.Device.t -> ?dnn:bool -> Func.t -> result

@@ -1,0 +1,1 @@
+lib/cfront/parse.ml: Dtype Expr Format Func Lexer Linexpr List Placeholder Pom_dsl Pom_poly Printf Schedule Var

@@ -1,0 +1,1 @@
+lib/cfront/parse.mli: Pom_dsl

@@ -1,0 +1,97 @@
+type token = Ident of string | Int of int | Float of float | Punct of string | Eof
+
+exception Lex_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Lex_error s)) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* two-character operators first, then single characters *)
+let two_char_puncts = [ "++"; "--"; "+="; "-="; "*="; "/="; "<="; ">="; "==" ]
+
+let one_char_puncts = "(){}[];,=<>+-*/%"
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* preprocessor line: skip to end of line *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i + 1 < n do
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then err "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      toks := Ident (String.sub src start (!i - start)) :: !toks
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      let text = String.sub src start (!i - start) in
+      (* float suffix *)
+      if !i < n && (src.[!i] = 'f' || src.[!i] = 'F') then begin
+        is_float := true;
+        incr i
+      end;
+      if !is_float then toks := Float (float_of_string text) :: !toks
+      else toks := Int (int_of_string text) :: !toks
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some t when List.mem t two_char_puncts ->
+          toks := Punct t :: !toks;
+          i := !i + 2
+      | _ ->
+          if String.contains one_char_puncts c then begin
+            toks := Punct (String.make 1 c) :: !toks;
+            incr i
+          end
+          else err "unexpected character %c" c
+    end
+  done;
+  List.rev (Eof :: !toks)
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | Int k -> Format.fprintf ppf "integer %d" k
+  | Float f -> Format.fprintf ppf "float %g" f
+  | Punct p -> Format.fprintf ppf "'%s'" p
+  | Eof -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,16 @@
+(** Tokenizer for the HLS C kernel subset accepted by {!Parse}. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Punct of string  (** one of the recognized operators/delimiters *)
+  | Eof
+
+exception Lex_error of string
+
+(** Tokenize a whole source string.  Line ([//]) and block ([/* */])
+    comments and [#pragma]/[#include] lines are skipped. *)
+val tokenize : string -> token list
+
+val pp_token : Format.formatter -> token -> unit

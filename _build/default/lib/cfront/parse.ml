@@ -1,0 +1,410 @@
+open Pom_poly
+open Pom_dsl
+
+exception Parse_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> Lexer.Eof
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.Punct q when q = p -> advance st
+  | t -> err "expected '%s', found %a" p Lexer.pp_token t
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Ident s ->
+      advance st;
+      s
+  | t -> err "expected identifier, found %a" Lexer.pp_token t
+
+let expect_keyword st kw =
+  match peek st with
+  | Lexer.Ident s when s = kw -> advance st
+  | t -> err "expected '%s', found %a" kw Lexer.pp_token t
+
+let expect_int st =
+  match peek st with
+  | Lexer.Int k ->
+      advance st;
+      k
+  | t -> err "expected integer, found %a" Lexer.pp_token t
+
+let dtype_of_ctype = function
+  | "float" -> Dtype.p_float32
+  | "double" -> Dtype.p_float64
+  | "int" | "int32_t" -> Dtype.p_int32
+  | "int8_t" -> Dtype.p_int8
+  | "int16_t" -> Dtype.p_int16
+  | "int64_t" -> Dtype.p_int64
+  | "uint8_t" -> Dtype.p_uint8
+  | "uint16_t" -> Dtype.p_uint16
+  | "uint32_t" -> Dtype.p_uint32
+  | "uint64_t" -> Dtype.p_uint64
+  | t -> err "unsupported element type %s" t
+
+(* ---- affine index / bound expressions over the live iterators ---- *)
+
+type env = {
+  arrays : (string * Placeholder.t) list;
+  (* innermost first: (var, hull-inclusive-range, loop id) *)
+  loops : (Var.t * int) list;
+}
+
+let is_live_iter env name =
+  List.exists (fun ((v : Var.t), _) -> v.Var.name = name) env.loops
+
+let rec parse_affine st env = parse_affine_sum st env
+
+and parse_affine_sum st env =
+  let lhs = ref (parse_affine_term st env) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.Punct "+" ->
+        advance st;
+        lhs := Linexpr.add !lhs (parse_affine_term st env)
+    | Lexer.Punct "-" ->
+        advance st;
+        lhs := Linexpr.sub !lhs (parse_affine_term st env)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_affine_term st env =
+  let lhs = ref (parse_affine_atom st env) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.Punct "*" ->
+        advance st;
+        let rhs = parse_affine_atom st env in
+        if Linexpr.is_const !lhs then lhs := Linexpr.scale (Linexpr.const_of !lhs) rhs
+        else if Linexpr.is_const rhs then lhs := Linexpr.scale (Linexpr.const_of rhs) !lhs
+        else err "non-affine index: product of two iterators"
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_affine_atom st env =
+  match peek st with
+  | Lexer.Int k ->
+      advance st;
+      Linexpr.const k
+  | Lexer.Punct "-" ->
+      advance st;
+      Linexpr.neg (parse_affine_atom st env)
+  | Lexer.Punct "(" ->
+      advance st;
+      let e = parse_affine st env in
+      expect_punct st ")";
+      e
+  | Lexer.Ident name when is_live_iter env name ->
+      advance st;
+      Linexpr.var name
+  | Lexer.Ident name -> err "unknown iterator %s in affine expression" name
+  | t -> err "unexpected %a in affine expression" Lexer.pp_token t
+
+(* conservative hull of an affine expression given the iterators' hulls *)
+let hull_range env e =
+  let base = Linexpr.const_of e in
+  List.fold_left
+    (fun (lo, hi) ((v : Var.t), _) ->
+      let c = Linexpr.coeff e v.Var.name in
+      if c = 0 then (lo, hi)
+      else
+        let a = c * v.Var.lb and b = c * (v.Var.ub - 1) in
+        (lo + min a b, hi + max a b))
+    (base, base) env.loops
+
+let linexpr_to_index e =
+  let terms =
+    List.map
+      (fun d ->
+        let c = Linexpr.coeff e d in
+        if c = 1 then Expr.Ix_var d else Expr.Ix_mul (c, Expr.Ix_var d))
+      (Linexpr.dims e)
+  in
+  let k = Linexpr.const_of e in
+  match terms with
+  | [] -> Expr.Ix_const k
+  | t :: rest ->
+      let sum = List.fold_left (fun a b -> Expr.Ix_add (a, b)) t rest in
+      if k = 0 then sum else Expr.Ix_add (sum, Expr.Ix_const k)
+
+(* ---- value expressions ---- *)
+
+let find_array env name =
+  match List.assoc_opt name env.arrays with
+  | Some p -> p
+  | None -> err "unknown array %s" name
+
+let parse_access st env name =
+  let p = find_array env name in
+  let indices = ref [] in
+  while peek st = Lexer.Punct "[" do
+    advance st;
+    indices := parse_affine st env :: !indices;
+    expect_punct st "]"
+  done;
+  let indices = List.rev_map linexpr_to_index !indices in
+  if List.length indices <> Placeholder.rank p then
+    err "array %s has rank %d, got %d indices" name (Placeholder.rank p)
+      (List.length indices);
+  (p, indices)
+
+let rec parse_expr st env = parse_expr_sum st env
+
+and parse_expr_sum st env =
+  let lhs = ref (parse_expr_term st env) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.Punct "+" ->
+        advance st;
+        lhs := Expr.Bin (Expr.Add, !lhs, parse_expr_term st env)
+    | Lexer.Punct "-" ->
+        advance st;
+        lhs := Expr.Bin (Expr.Sub, !lhs, parse_expr_term st env)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_expr_term st env =
+  let lhs = ref (parse_expr_atom st env) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.Punct "*" ->
+        advance st;
+        lhs := Expr.Bin (Expr.Mul, !lhs, parse_expr_atom st env)
+    | Lexer.Punct "/" ->
+        advance st;
+        lhs := Expr.Bin (Expr.Div, !lhs, parse_expr_atom st env)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_expr_atom st env =
+  match peek st with
+  | Lexer.Float f ->
+      advance st;
+      Expr.Fconst f
+  | Lexer.Int k ->
+      advance st;
+      Expr.Fconst (float_of_int k)
+  | Lexer.Punct "-" ->
+      advance st;
+      Expr.Neg (parse_expr_atom st env)
+  | Lexer.Punct "(" ->
+      advance st;
+      let e = parse_expr st env in
+      expect_punct st ")";
+      e
+  | Lexer.Ident fn when fn = "fminf" || fn = "fmaxf" || fn = "fmin" || fn = "fmax" ->
+      advance st;
+      expect_punct st "(";
+      let a = parse_expr st env in
+      expect_punct st ",";
+      let b = parse_expr st env in
+      expect_punct st ")";
+      let op = if fn = "fminf" || fn = "fmin" then Expr.Min else Expr.Max in
+      Expr.Bin (op, a, b)
+  | Lexer.Ident name when List.mem_assoc name env.arrays ->
+      advance st;
+      let p, indices = parse_access st env name in
+      Expr.Load (p, indices)
+  | Lexer.Ident name when is_live_iter env name ->
+      err "iterator %s used as a value (only affine indices are supported)"
+        name
+  | t -> err "unexpected %a in expression" Lexer.pp_token t
+
+(* ---- statements ---- *)
+
+type accum = {
+  func : Func.t;
+  mutable counter : int;
+  (* previous statement's loop-id stack (outermost first), for fusion *)
+  mutable prev : (string * int list) option;
+  mutable next_loop_id : int;
+}
+
+let rec parse_stmt st env acc (conds : Expr.cond list) =
+  match peek st with
+  | Lexer.Punct "{" ->
+      advance st;
+      while peek st <> Lexer.Punct "}" do
+        parse_stmt st env acc conds
+      done;
+      advance st
+  | Lexer.Ident "for" -> parse_for st env acc conds
+  | Lexer.Ident _ -> parse_assign st env acc conds
+  | t -> err "expected a statement, found %a" Lexer.pp_token t
+
+and parse_for st env acc conds =
+  expect_keyword st "for";
+  expect_punct st "(";
+  expect_keyword st "int";
+  let var_name = expect_ident st in
+  if is_live_iter env var_name then err "iterator %s shadows an outer loop" var_name;
+  expect_punct st "=";
+  let lb_expr = parse_affine st env in
+  expect_punct st ";";
+  let v2 = expect_ident st in
+  if v2 <> var_name then err "loop condition must test %s" var_name;
+  let strict =
+    match peek st with
+    | Lexer.Punct "<" ->
+        advance st;
+        true
+    | Lexer.Punct "<=" ->
+        advance st;
+        false
+    | t -> err "expected '<' or '<=', found %a" Lexer.pp_token t
+  in
+  let ub_expr = parse_affine st env in
+  let ub_expr =
+    if strict then ub_expr else Linexpr.add ub_expr (Linexpr.const 1)
+  in
+  expect_punct st ";";
+  (match peek st with
+  | Lexer.Ident v3 when v3 = var_name -> (
+      advance st;
+      match peek st with
+      | Lexer.Punct "++" -> advance st
+      | Lexer.Punct "+=" ->
+          advance st;
+          if expect_int st <> 1 then err "only unit stride is supported"
+      | t -> err "expected '++', found %a" Lexer.pp_token t)
+  | Lexer.Punct "++" ->
+      advance st;
+      let v3 = expect_ident st in
+      if v3 <> var_name then err "increment must update %s" var_name
+  | t -> err "expected increment of %s, found %a" var_name Lexer.pp_token t);
+  expect_punct st ")";
+  (* hull + residual conditions *)
+  let lb_hull, _ = hull_range env lb_expr in
+  let _, ub_hull = hull_range env ub_expr in
+  if lb_hull >= ub_hull then err "loop on %s has an empty hull" var_name;
+  let var = Var.make var_name lb_hull ub_hull in
+  let new_conds =
+    (if Linexpr.is_const lb_expr then []
+     else [ Expr.Cge (Expr.ix_name var_name, linexpr_to_index lb_expr) ])
+    @
+    if Linexpr.is_const ub_expr then []
+    else [ Expr.Clt (Expr.ix_name var_name, linexpr_to_index ub_expr) ]
+  in
+  let id = acc.next_loop_id in
+  acc.next_loop_id <- id + 1;
+  let env' = { env with loops = (var, id) :: env.loops } in
+  parse_stmt st env' acc (conds @ new_conds)
+
+and parse_assign st env acc conds =
+  let name = expect_ident st in
+  let p, indices = parse_access st env name in
+  let op =
+    match peek st with
+    | Lexer.Punct "=" ->
+        advance st;
+        `Set
+    | Lexer.Punct "+=" ->
+        advance st;
+        `Add
+    | Lexer.Punct "-=" ->
+        advance st;
+        `Sub
+    | Lexer.Punct "*=" ->
+        advance st;
+        `Mul
+    | t -> err "expected assignment operator, found %a" Lexer.pp_token t
+  in
+  let rhs = parse_expr st env in
+  expect_punct st ";";
+  let body =
+    match op with
+    | `Set -> rhs
+    | `Add -> Expr.Bin (Expr.Add, Expr.Load (p, indices), rhs)
+    | `Sub -> Expr.Bin (Expr.Sub, Expr.Load (p, indices), rhs)
+    | `Mul -> Expr.Bin (Expr.Mul, Expr.Load (p, indices), rhs)
+  in
+  register_with_conds acc env conds ~dest:(p, indices) ~body
+
+and register_with_conds acc env conds ~dest ~body =
+  let name = Printf.sprintf "s%d" acc.counter in
+  acc.counter <- acc.counter + 1;
+  let loops_outermost_first = List.rev env.loops in
+  let iters = List.map fst loops_outermost_first in
+  let ids = List.map snd loops_outermost_first in
+  ignore
+    (Func.compute acc.func name ~iters ~where:conds ~body ~dest ());
+  (match acc.prev with
+  | Some (anchor, prev_ids) ->
+      let rec common a b =
+        match (a, b) with
+        | x :: a', y :: b' when x = y -> 1 + common a' b'
+        | _ -> 0
+      in
+      let level = common prev_ids ids in
+      if level >= 1 then
+        Func.schedule acc.func (Schedule.after name ~anchor ~level)
+  | None -> ());
+  acc.prev <- Some (name, ids)
+
+(* ---- top level ---- *)
+
+let parse_param st =
+  let ctype = expect_ident st in
+  let dt = dtype_of_ctype ctype in
+  let name = expect_ident st in
+  let shape = ref [] in
+  while peek st = Lexer.Punct "[" do
+    advance st;
+    shape := expect_int st :: !shape;
+    expect_punct st "]"
+  done;
+  if !shape = [] then err "parameter %s must be an array" name;
+  Placeholder.make name (List.rev !shape) dt
+
+let parse_func src =
+  let st = { toks = Lexer.tokenize src } in
+  expect_keyword st "void";
+  let fname = expect_ident st in
+  expect_punct st "(";
+  let arrays = ref [] in
+  let rec params () =
+    let p = parse_param st in
+    arrays := (p.Placeholder.name, p) :: !arrays;
+    match peek st with
+    | Lexer.Punct "," ->
+        advance st;
+        params ()
+    | _ -> ()
+  in
+  if peek st <> Lexer.Punct ")" then params ();
+  expect_punct st ")";
+  let func = Func.create fname in
+  let acc = { func; counter = 0; prev = None; next_loop_id = 0 } in
+  let env = { arrays = List.rev !arrays; loops = [] } in
+  expect_punct st "{";
+  while peek st <> Lexer.Punct "}" do
+    parse_stmt st env acc []
+  done;
+  advance st;
+  (match peek st with
+  | Lexer.Eof -> ()
+  | t -> err "trailing input: %a" Lexer.pp_token t);
+  if Func.computes func = [] then err "kernel %s has no statements" fname;
+  func
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_func src

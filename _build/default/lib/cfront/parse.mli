@@ -1,0 +1,35 @@
+(** A front-end for the HLS C kernel subset — the input format of the
+    ScaleHLS flow the paper compares against ("it receives C code", Section
+    II-C).  Parsing produces an ordinary DSL {!Pom_dsl.Func.t}, so C
+    kernels flow through every framework, the DSE, the simulator, and the
+    legality checker unchanged.
+
+    Accepted subset (one translation unit, one kernel):
+
+    {v
+    void kernel(float A[32][32], float x[32], int32_t y[32]) {
+      for (int i = 0; i < 32; i++)
+        for (int j = i + 1; j <= 31; j++) {
+          A[i][j] += A[j][i] * 2.0f;
+          x[i] = x[i] + A[i][j];
+        }
+    }
+    v}
+
+    - parameters: arrays of [float], [double], or sized integer types;
+    - statements: [for] loops over fresh [int] iterators with affine
+      bounds ([<] or [<=], [++]/[+= 1] increment) and assignments
+      ([=], [+=], [-=], [*=]) from arithmetic over array accesses and
+      literals ([fminf]/[fmaxf] map to min/max);
+    - array indices and loop bounds must be affine in the iterators;
+      non-constant bounds become [where] conditions on a constant hull
+      (triangular loops work);
+    - statements sharing enclosing loops are fused with [after], exactly
+      reproducing the source interleaving. *)
+
+exception Parse_error of string
+
+val parse_func : string -> Pom_dsl.Func.t
+
+(** Parse the contents of a file. *)
+val parse_file : string -> Pom_dsl.Func.t

@@ -1,0 +1,89 @@
+module Poly = Pom_poly
+module Dsl = Pom_dsl
+module Depgraph = Pom_depgraph
+module Polyir = Pom_polyir
+module Affine = Pom_affine
+module Emit = Pom_emit
+module Sim = Pom_sim
+module Hls = Pom_hls
+module Dse = Pom_dse
+module Baselines = Pom_baselines
+module Workloads = Pom_workloads
+module Cfront = Pom_cfront
+
+type framework =
+  [ `Baseline | `Pluto | `Polsca | `Scalehls | `Pom_manual | `Pom_auto ]
+
+type compiled = {
+  framework : framework;
+  prog : Pom_polyir.Prog.t;
+  report : Pom_hls.Report.t;
+  hls_c : string;
+  dse_time_s : float;
+  tile_vectors : (string * int list) list;
+  baseline_latency : int;
+}
+
+let compile ?(device = Pom_hls.Device.xc7z020) ?(framework = `Pom_auto)
+    ?(dnn = false) func =
+  let baseline_latency = Pom_hls.Report.baseline_latency func in
+  let prog, report, dse_time_s, tile_vectors =
+    match framework with
+    | `Baseline ->
+        let prog =
+          List.fold_left Pom_polyir.Prog.apply
+            (Pom_polyir.Prog.of_func_unscheduled func)
+            (Pom_baselines.Butil.structural_directives func)
+        in
+        (prog, Pom_hls.Report.synthesize ~device prog, 0.0, [])
+    | `Pluto ->
+        let r = Pom_baselines.Pluto.run ~device func in
+        (r.Pom_baselines.Pluto.prog, r.Pom_baselines.Pluto.report, 0.0, [])
+    | `Polsca ->
+        let r = Pom_baselines.Polsca.run ~device func in
+        (r.Pom_baselines.Polsca.prog, r.Pom_baselines.Polsca.report, 0.0, [])
+    | `Scalehls ->
+        let r = Pom_baselines.Scalehls.run ~device ~dnn func in
+        ( r.Pom_baselines.Scalehls.prog,
+          r.Pom_baselines.Scalehls.report,
+          r.Pom_baselines.Scalehls.dse_time_s,
+          r.Pom_baselines.Scalehls.tile_vectors )
+    | `Pom_manual ->
+        let prog = Pom_polyir.Prog.of_func func in
+        (prog, Pom_hls.Report.synthesize ~device prog, 0.0, [])
+    | `Pom_auto ->
+        let o = Pom_dse.Engine.run ~device func in
+        let r = o.Pom_dse.Engine.result in
+        ( r.Pom_dse.Stage2.prog,
+          r.Pom_dse.Stage2.report,
+          o.Pom_dse.Engine.dse_time_s,
+          r.Pom_dse.Stage2.tile_vectors )
+  in
+  {
+    framework;
+    prog;
+    report;
+    hls_c =
+      Pom_emit.Emit.hls_c
+        (Pom_affine.Passes.simplify (Pom_affine.Lower.lower prog));
+    dse_time_s;
+    tile_vectors;
+    baseline_latency;
+  }
+
+let mlir c =
+  Pom_emit.Emit_mlir.mlir
+    (Pom_affine.Passes.simplify (Pom_affine.Lower.lower c.prog))
+
+let speedup c =
+  Pom_hls.Report.speedup ~baseline:c.baseline_latency c.report
+
+let validate func c = Pom_sim.Interp.divergence func c.prog
+
+let check_legality func c =
+  let original =
+    List.fold_left Pom_polyir.Prog.apply
+      (Pom_polyir.Prog.of_func_unscheduled func)
+      (Pom_baselines.Butil.structural_directives func)
+  in
+  Pom_polyir.Legality.violations ~original ~transformed:c.prog

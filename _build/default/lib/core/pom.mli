@@ -1,0 +1,75 @@
+(** POM — an end-to-end optimizing framework for FPGA accelerator
+    generation, reproducing Zhang et al., HPCA 2024.
+
+    This is the public facade: write an algorithm in the DSL
+    ({!Dsl.Func}, {!Dsl.Compute}), pick a schedule (manual primitives or
+    {!compile} with [`Pom_auto]), and get back a synthesis report from the
+    virtual HLS back-end plus generated HLS C.
+
+    {[
+      let f = Pom.Workloads.Polybench.gemm 1024 in
+      let c = Pom.compile ~framework:`Pom_auto f in
+      print_string c.Pom.hls_c;
+      Format.printf "%a@." Pom.Hls.Report.pp c.Pom.report
+    ]} *)
+
+(** Re-exported subsystem entry points. *)
+
+module Poly = Pom_poly
+module Dsl = Pom_dsl
+module Depgraph = Pom_depgraph
+module Polyir = Pom_polyir
+module Affine = Pom_affine
+module Emit = Pom_emit
+module Sim = Pom_sim
+module Hls = Pom_hls
+module Dse = Pom_dse
+module Baselines = Pom_baselines
+module Workloads = Pom_workloads
+module Cfront = Pom_cfront
+
+(** Which optimization flow to run. *)
+type framework =
+  [ `Baseline  (** the input program, unoptimized *)
+  | `Pluto  (** locality tiling, CPU-oriented (no pragmas) *)
+  | `Polsca  (** Pluto schedule + pipelining, no partitioning *)
+  | `Scalehls  (** single-IR interchange + greedy DSE, dataflow resources *)
+  | `Pom_manual  (** apply the function's own scheduling primitives *)
+  | `Pom_auto  (** the two-stage DSE engine ([f.auto_DSE()]) *) ]
+
+type compiled = {
+  framework : framework;
+  prog : Pom_polyir.Prog.t;
+  report : Pom_hls.Report.t;
+  hls_c : string;  (** generated HLS C *)
+  dse_time_s : float;  (** 0 for non-searching flows *)
+  tile_vectors : (string * int list) list;  (** empty for non-DSE flows *)
+  baseline_latency : int;
+}
+
+(** Compile a DSL function end-to-end through the selected flow.  [dnn]
+    switches the ScaleHLS baseline to its dataflow composition; POM always
+    reuses resources across loops. *)
+val compile :
+  ?device:Pom_hls.Device.t ->
+  ?framework:framework ->
+  ?dnn:bool ->
+  Pom_dsl.Func.t ->
+  compiled
+
+val speedup : compiled -> float
+
+(** The annotated affine-dialect IR as textual MLIR (the Fig. 9 (d)
+    artifact), with HLS information as [hls.*] attributes. *)
+val mlir : compiled -> string
+
+(** Check a compiled schedule against the specification on small inputs
+    with the functional simulator; returns the max elementwise
+    divergence. *)
+val validate : Pom_dsl.Func.t -> compiled -> float
+
+(** Prove the compiled schedule legal against the specification with the
+    polyhedral dependence checker (no execution, any problem size);
+    returns the reversed dependences ([[]] = legal). *)
+val check_legality :
+  Pom_dsl.Func.t -> compiled -> Pom_polyir.Legality.violation list

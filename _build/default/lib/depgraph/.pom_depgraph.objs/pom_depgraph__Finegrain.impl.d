@@ -1,0 +1,1 @@
+lib/depgraph/finegrain.ml: Basic_set Compute Constr Dep Feasible Format Fun Linexpr List Pom_dsl Pom_poly Printf String

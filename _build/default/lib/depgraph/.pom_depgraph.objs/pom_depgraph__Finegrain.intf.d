@@ -1,0 +1,1 @@
+lib/depgraph/finegrain.mli: Compute Format Pom_dsl

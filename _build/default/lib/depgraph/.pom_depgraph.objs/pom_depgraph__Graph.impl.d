@@ -1,0 +1,1 @@
+lib/depgraph/graph.ml: Compute Finegrain Format Func List Pom_dsl String

@@ -1,0 +1,1 @@
+lib/depgraph/graph.mli: Compute Finegrain Format Func Pom_dsl

@@ -1,0 +1,1 @@
+lib/depgraph/hints.ml: Finegrain Format List Option Pom_dsl String

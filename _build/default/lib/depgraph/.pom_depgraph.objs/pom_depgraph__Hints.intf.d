@@ -1,0 +1,1 @@
+lib/depgraph/hints.mli: Finegrain Format

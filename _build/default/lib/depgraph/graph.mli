@@ -1,0 +1,38 @@
+(** The dependence graph IR (Section V-A): one node per compute, one edge
+    per coarse-grained producer→consumer relation, with fine-grained
+    analysis results stored as node attributes, plus DFS data-path
+    collection for the DSE engine. *)
+
+open Pom_dsl
+
+type edge_kind = Raw | War | Waw
+
+type edge = { src : string; dst : string; array : string; kind : edge_kind }
+
+type node = { compute : Compute.t; fine : Finegrain.t }
+
+type t
+
+(** Build the graph from a function's computes (program order defines edge
+    direction: an edge runs from the earlier to the later compute). *)
+val build : Func.t -> t
+
+val nodes : t -> node list
+
+val node : t -> string -> node
+
+val edges : t -> edge list
+
+(** Successors by RAW edges only (the data paths of Fig. 8). *)
+val successors : t -> string -> string list
+
+val predecessors : t -> string -> string list
+
+(** All maximal RAW paths from source nodes (no RAW predecessor) to sinks,
+    via depth-first search; isolated nodes yield singleton paths. *)
+val data_paths : t -> string list list
+
+(** Nodes in program order. *)
+val order : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dse/engine.ml: Stage1 Stage2 Sys

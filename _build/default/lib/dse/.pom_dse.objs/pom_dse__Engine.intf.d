@@ -1,0 +1,1 @@
+lib/dse/engine.mli: Pom_dsl Pom_hls Stage1 Stage2

@@ -1,0 +1,1 @@
+lib/dse/stage1.ml: Array Compute Func Graph Hints List Pom_depgraph Pom_dsl Schedule Var

@@ -1,0 +1,1 @@
+lib/dse/stage1.mli: Func Pom_dsl Schedule

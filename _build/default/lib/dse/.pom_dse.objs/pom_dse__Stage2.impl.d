@@ -1,0 +1,1 @@
+lib/dse/stage2.ml: Array Device Format Func Hashtbl Int List Option Placeholder Pom_depgraph Pom_dsl Pom_hls Pom_poly Pom_polyir Prog Report Resource Schedule Stage1 Stmt_poly String Summary

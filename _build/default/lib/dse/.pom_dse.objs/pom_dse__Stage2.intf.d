@@ -1,0 +1,1 @@
+lib/dse/stage2.mli: Func Pom_dsl Pom_hls Pom_polyir Schedule Stage1

@@ -1,0 +1,13 @@
+type outcome = {
+  stage1 : Stage1.t;
+  result : Stage2.result;
+  dse_time_s : float;
+}
+
+let run ?device ?composition ?par_cap ?bank_cap ?steps func =
+  let t0 = Sys.time () in
+  let stage1 = Stage1.run func in
+  let result =
+    Stage2.run ?device ?composition ?par_cap ?bank_cap ?steps func stage1
+  in
+  { stage1; result; dse_time_s = Sys.time () -. t0 }

@@ -1,0 +1,19 @@
+(** The two-stage DSE driver (the [f.auto_DSE()] primitive): run
+    dependence-aware transformation, then bottleneck-oriented optimization,
+    and account the search time that Table III reports as the toolchain's
+    runtime. *)
+
+type outcome = {
+  stage1 : Stage1.t;
+  result : Stage2.result;
+  dse_time_s : float;  (** wall-clock search time *)
+}
+
+val run :
+  ?device:Pom_hls.Device.t ->
+  ?composition:Pom_hls.Resource.composition ->
+  ?par_cap:int ->
+  ?bank_cap:int ->
+  ?steps:(int -> int list) ->
+  Pom_dsl.Func.t ->
+  outcome

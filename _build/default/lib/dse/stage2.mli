@@ -1,0 +1,60 @@
+(** Stage 2 of the DSE engine (Section VI-B): bottleneck-oriented code
+    optimization.  Node latencies are estimated with the QoR model, data
+    paths are ordered by latency, and the bottleneck node of the critical
+    path has its parallelism escalated (tiling + pipelining + unrolling +
+    matching array partitioning) until it stops being the bottleneck, the
+    design leaves the resource budget, or its maximum parallelism is
+    reached — the exit mechanism that removes it from the optimization
+    list. *)
+
+open Pom_dsl
+
+(** The hardware directives realizing one parallelism degree on one
+    compute, plus the tile-factor vector they correspond to. *)
+type realization = {
+  hw_directives : Schedule.t list;
+  tile_vector : int list;
+}
+
+(** [realize compute loop_order extents par] produces the
+    tile/pipeline/unroll directives giving [par] parallel copies on the
+    innermost levels (shared with the ScaleHLS baseline, which explores the
+    same move space with a different search policy). *)
+val realize : string -> string list -> int list -> int -> realization
+
+(** Array-partition directives matched to the unroll factors present in a
+    scheduled program, with the per-array bank-count cap ([bank_cap],
+    default 64: beyond it the crossbar cost outweighs the port gain and
+    factors are shed by halving, trading a slightly larger II). *)
+val partition_plan : ?bank_cap:int -> Pom_polyir.Prog.t -> Schedule.t list
+
+type result = {
+  directives : Schedule.t list;
+      (** the full plan: stage-1 directives + hardware directives *)
+  prog : Pom_polyir.Prog.t;
+  report : Pom_hls.Report.t;
+  iterations : int;
+  tile_vectors : (string * int list) list;
+      (** per compute: achieved tile/unroll factor per loop level *)
+  trace : string list;
+      (** human-readable decision log of the bottleneck search *)
+  evaluations : int;
+      (** QoR-model evaluations spent by the search (the deterministic
+          counterpart of the DSE-time column) *)
+}
+
+(** [run func stage1] performs the bottleneck-oriented search.
+    [par_cap] bounds the parallelism degree per node; [bank_cap] bounds
+    partition banks per array; [steps] is the user-specifiable strategy
+    group of Section VI-B — given a node's current parallelism it returns
+    the candidate degrees to try, first hit wins (default: double, then
+    1.5x as a fallback). *)
+val run :
+  ?device:Pom_hls.Device.t ->
+  ?composition:Pom_hls.Resource.composition ->
+  ?par_cap:int ->
+  ?bank_cap:int ->
+  ?steps:(int -> int list) ->
+  Func.t ->
+  Stage1.t ->
+  result

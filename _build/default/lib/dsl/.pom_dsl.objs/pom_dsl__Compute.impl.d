@@ -1,0 +1,1 @@
+lib/dsl/compute.ml: Basic_set Constr Dep Expr Feasible Format Linexpr List Placeholder Pom_poly Printf String Var

@@ -1,0 +1,1 @@
+lib/dsl/compute.mli: Expr Format Placeholder Pom_poly Var

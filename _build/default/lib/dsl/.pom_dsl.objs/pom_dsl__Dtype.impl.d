@@ -1,0 +1,1 @@
+lib/dsl/dtype.ml: Format

@@ -1,0 +1,1 @@
+lib/dsl/expr.ml: Constr Format Linexpr List Placeholder Pom_poly Printf String Var

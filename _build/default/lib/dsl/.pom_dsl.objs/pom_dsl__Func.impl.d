@@ -1,0 +1,1 @@
+lib/dsl/func.ml: Compute Format List Placeholder Printf Schedule String

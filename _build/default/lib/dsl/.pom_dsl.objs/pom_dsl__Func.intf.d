@@ -1,0 +1,1 @@
+lib/dsl/func.mli: Compute Expr Format Placeholder Schedule Var

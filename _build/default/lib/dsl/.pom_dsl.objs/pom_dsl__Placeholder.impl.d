@@ -1,0 +1,1 @@
+lib/dsl/placeholder.ml: Dtype Format List String

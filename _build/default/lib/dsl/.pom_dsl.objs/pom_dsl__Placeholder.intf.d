@@ -1,0 +1,1 @@
+lib/dsl/placeholder.mli: Dtype Format

@@ -1,0 +1,1 @@
+lib/dsl/schedule.ml: Format List String

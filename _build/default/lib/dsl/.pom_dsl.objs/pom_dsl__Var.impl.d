@@ -1,0 +1,1 @@
+lib/dsl/var.ml: Constr Format Linexpr Pom_poly Printf String

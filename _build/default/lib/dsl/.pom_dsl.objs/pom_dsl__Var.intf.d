@@ -1,0 +1,1 @@
+lib/dsl/var.mli: Format Pom_poly

@@ -1,0 +1,154 @@
+open Pom_poly
+
+type index =
+  | Ix_var of string
+  | Ix_const of int
+  | Ix_add of index * index
+  | Ix_sub of index * index
+  | Ix_mul of int * index
+
+let ix (v : Var.t) = Ix_var v.name
+
+let ix_name n = Ix_var n
+
+let ixc k = Ix_const k
+
+let ( +! ) a b = Ix_add (a, b)
+
+let ( -! ) a b = Ix_sub (a, b)
+
+let ( *! ) k a = Ix_mul (k, a)
+
+let rec index_to_linexpr = function
+  | Ix_var d -> Linexpr.var d
+  | Ix_const k -> Linexpr.const k
+  | Ix_add (a, b) -> Linexpr.add (index_to_linexpr a) (index_to_linexpr b)
+  | Ix_sub (a, b) -> Linexpr.sub (index_to_linexpr a) (index_to_linexpr b)
+  | Ix_mul (k, a) -> Linexpr.scale k (index_to_linexpr a)
+
+type cond =
+  | Cge of index * index
+  | Cle of index * index
+  | Cgt of index * index
+  | Clt of index * index
+  | Ceq of index * index
+
+let cond_to_constr c =
+  let t = index_to_linexpr in
+  match c with
+  | Cge (a, b) -> Constr.ge (t a) (t b)
+  | Cle (a, b) -> Constr.le (t a) (t b)
+  | Cgt (a, b) -> Constr.gt (t a) (t b)
+  | Clt (a, b) -> Constr.lt (t a) (t b)
+  | Ceq (a, b) -> Constr.eq (t a) (t b)
+
+let cond_sat env c = Constr.sat env (cond_to_constr c)
+
+type binop = Add | Sub | Mul | Div | Min | Max
+
+type t =
+  | Load of Placeholder.t * index list
+  | Fconst of float
+  | Bin of binop * t * t
+  | Neg of t
+
+let access p indices =
+  if List.length indices <> Placeholder.rank p then
+    invalid_arg
+      (Printf.sprintf "Expr.access: %s has rank %d, got %d indices"
+         p.Placeholder.name (Placeholder.rank p) (List.length indices));
+  Load (p, indices)
+
+let fconst f = Fconst f
+
+let ( +: ) a b = Bin (Add, a, b)
+
+let ( -: ) a b = Bin (Sub, a, b)
+
+let ( *: ) a b = Bin (Mul, a, b)
+
+let ( /: ) a b = Bin (Div, a, b)
+
+let min_ a b = Bin (Min, a, b)
+
+let max_ a b = Bin (Max, a, b)
+
+let neg a = Neg a
+
+let rec loads = function
+  | Load (p, ixs) -> [ (p, ixs) ]
+  | Fconst _ -> []
+  | Bin (_, a, b) -> loads a @ loads b
+  | Neg a -> loads a
+
+let op_counts e =
+  let rec go (a, s, m, d, mm) = function
+    | Load _ | Fconst _ -> (a, s, m, d, mm)
+    | Neg x -> go (a, s + 1, m, d, mm) x
+    | Bin (op, x, y) ->
+        let acc =
+          match op with
+          | Add -> (a + 1, s, m, d, mm)
+          | Sub -> (a, s + 1, m, d, mm)
+          | Mul -> (a, s, m + 1, d, mm)
+          | Div -> (a, s, m, d + 1, mm)
+          | Min | Max -> (a, s, m, d, mm + 1)
+        in
+        go (go acc x) y
+  in
+  go (0, 0, 0, 0, 0) e
+
+let rec index_iters = function
+  | Ix_var d -> [ d ]
+  | Ix_const _ -> []
+  | Ix_add (a, b) | Ix_sub (a, b) -> index_iters a @ index_iters b
+  | Ix_mul (_, a) -> index_iters a
+
+let free_iters e =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (_, ixs) -> List.concat_map index_iters ixs)
+       (loads e))
+
+let rec subst_index bindings = function
+  | Ix_var d -> (
+      match List.assoc_opt d bindings with Some i -> i | None -> Ix_var d)
+  | Ix_const k -> Ix_const k
+  | Ix_add (a, b) -> Ix_add (subst_index bindings a, subst_index bindings b)
+  | Ix_sub (a, b) -> Ix_sub (subst_index bindings a, subst_index bindings b)
+  | Ix_mul (k, a) -> Ix_mul (k, subst_index bindings a)
+
+let rec subst_indices bindings = function
+  | Load (p, ixs) -> Load (p, List.map (subst_index bindings) ixs)
+  | Fconst f -> Fconst f
+  | Bin (op, a, b) -> Bin (op, subst_indices bindings a, subst_indices bindings b)
+  | Neg a -> Neg (subst_indices bindings a)
+
+let rec pp_index ppf = function
+  | Ix_var d -> Format.pp_print_string ppf d
+  | Ix_const k -> Format.pp_print_int ppf k
+  | Ix_add (a, b) -> Format.fprintf ppf "%a + %a" pp_index a pp_index b
+  | Ix_sub (a, b) -> Format.fprintf ppf "%a - %a" pp_index a pp_index b
+  | Ix_mul (k, a) -> Format.fprintf ppf "%d*(%a)" k pp_index a
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Min -> "min"
+  | Max -> "max"
+
+let rec pp ppf = function
+  | Load (p, ixs) ->
+      Format.fprintf ppf "%s(%a)" p.Placeholder.name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_index)
+        ixs
+  | Fconst f -> Format.fprintf ppf "%g" f
+  | Neg a -> Format.fprintf ppf "-(%a)" pp a
+  | Bin ((Min | Max) as op, a, b) ->
+      Format.fprintf ppf "%s(%a, %a)" (binop_symbol op) pp a pp b
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp a (binop_symbol op) pp b

@@ -1,0 +1,83 @@
+(** Expressions of the POM DSL: affine index arithmetic and the arithmetic
+    body of a [compute] (loads from placeholders combined with scalar
+    operations). *)
+
+(** Affine index expressions over loop iterators. *)
+type index =
+  | Ix_var of string
+  | Ix_const of int
+  | Ix_add of index * index
+  | Ix_sub of index * index
+  | Ix_mul of int * index
+
+val ix : Var.t -> index
+
+val ix_name : string -> index
+
+val ixc : int -> index
+
+val ( +! ) : index -> index -> index
+
+val ( -! ) : index -> index -> index
+
+(** [k *! ix]: scaling by a constant only (affine restriction). *)
+val ( *! ) : int -> index -> index
+
+val index_to_linexpr : index -> Pom_poly.Linexpr.t
+
+(** Affine conditions over iterators, for non-rectangular iteration domains
+    (triangular loops etc.). *)
+type cond =
+  | Cge of index * index  (** a >= b *)
+  | Cle of index * index
+  | Cgt of index * index
+  | Clt of index * index
+  | Ceq of index * index
+
+val cond_to_constr : cond -> Pom_poly.Constr.t
+
+(** Evaluate a condition under an iterator assignment. *)
+val cond_sat : (string -> int) -> cond -> bool
+
+type binop = Add | Sub | Mul | Div | Min | Max
+
+type t =
+  | Load of Placeholder.t * index list
+  | Fconst of float
+  | Bin of binop * t * t
+  | Neg of t
+
+(** [access a [i; j]] is the load [a(i, j)]; rank-checked. *)
+val access : Placeholder.t -> index list -> t
+
+val fconst : float -> t
+
+val ( +: ) : t -> t -> t
+
+val ( -: ) : t -> t -> t
+
+val ( *: ) : t -> t -> t
+
+val ( /: ) : t -> t -> t
+
+val min_ : t -> t -> t
+
+val max_ : t -> t -> t
+
+val neg : t -> t
+
+(** All loads, left-to-right. *)
+val loads : t -> (Placeholder.t * index list) list
+
+(** Counts of each operation kind in the expression tree, for the QoR
+    model: [(adds, subs, muls, divs, minmaxes)]. *)
+val op_counts : t -> int * int * int * int * int
+
+(** Iterator names used in the index expressions. *)
+val free_iters : t -> string list
+
+val subst_indices : (string * index) list -> t -> t
+
+val pp_index : Format.formatter -> index -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = { name : string; shape : int list; dtype : Dtype.t }
+
+let make name shape dtype =
+  if shape = [] then invalid_arg "Placeholder.make: empty shape";
+  List.iter
+    (fun d ->
+      if d <= 0 then invalid_arg "Placeholder.make: non-positive extent")
+    shape;
+  { name; shape; dtype }
+
+let rank p = List.length p.shape
+
+let size p = List.fold_left ( * ) 1 p.shape
+
+let bits p = size p * Dtype.bits p.dtype
+
+let pp ppf p =
+  Format.fprintf ppf "%s[%s] : %a" p.name
+    (String.concat "][" (List.map string_of_int p.shape))
+    Dtype.pp p.dtype

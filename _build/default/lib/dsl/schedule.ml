@@ -1,0 +1,109 @@
+type partition_kind = Cyclic | Block | Complete
+
+type t =
+  | Interchange of { compute : string; d1 : string; d2 : string }
+  | Split of {
+      compute : string;
+      dim : string;
+      factor : int;
+      outer : string;
+      inner : string;
+    }
+  | Tile of {
+      compute : string;
+      d1 : string;
+      d2 : string;
+      f1 : int;
+      f2 : int;
+      o1 : string;
+      o2 : string;
+      i1 : string;
+      i2 : string;
+    }
+  | Skew of {
+      compute : string;
+      d1 : string;
+      d2 : string;
+      f1 : int;
+      f2 : int;
+      n1 : string;
+      n2 : string;
+    }
+  | After of { compute : string; anchor : string; level : int }
+  | Fuse of { c1 : string; c2 : string; level : int }
+  | Reverse of { compute : string; dim : string; new_dim : string }
+  | Pipeline of { compute : string; dim : string; ii : int }
+  | Unroll of { compute : string; dim : string; factor : int }
+  | Partition of { array : string; factors : int list; kind : partition_kind }
+  | Auto_dse
+
+let interchange compute d1 d2 = Interchange { compute; d1; d2 }
+
+let split compute dim factor outer inner =
+  if factor <= 1 then invalid_arg "Schedule.split: factor must exceed 1";
+  Split { compute; dim; factor; outer; inner }
+
+let tile compute d1 d2 f1 f2 o1 o2 i1 i2 =
+  if f1 <= 0 || f2 <= 0 then invalid_arg "Schedule.tile: factors must be positive";
+  Tile { compute; d1; d2; f1; f2; o1; o2; i1; i2 }
+
+let skew compute d1 d2 f1 f2 n1 n2 =
+  if abs f2 <> 1 then
+    invalid_arg "Schedule.skew: inner factor must be 1 or -1 (unimodular)";
+  Skew { compute; d1; d2; f1; f2; n1; n2 }
+
+let after compute ~anchor ~level = After { compute; anchor; level }
+
+let fuse c1 c2 ~level = Fuse { c1; c2; level }
+
+let reverse compute dim new_dim = Reverse { compute; dim; new_dim }
+
+let pipeline compute dim ii =
+  if ii < 1 then invalid_arg "Schedule.pipeline: II must be at least 1";
+  Pipeline { compute; dim; ii }
+
+let unroll compute dim factor =
+  if factor < 1 then invalid_arg "Schedule.unroll: factor must be positive";
+  Unroll { compute; dim; factor }
+
+let partition array factors kind = Partition { array; factors; kind }
+
+let auto_dse = Auto_dse
+
+let is_hardware = function
+  | Pipeline _ | Unroll _ | Partition _ -> true
+  | Interchange _ | Split _ | Tile _ | Skew _ | After _ | Fuse _ | Reverse _
+  | Auto_dse ->
+      false
+
+let pp_kind ppf = function
+  | Cyclic -> Format.pp_print_string ppf "cyclic"
+  | Block -> Format.pp_print_string ppf "block"
+  | Complete -> Format.pp_print_string ppf "complete"
+
+let pp ppf = function
+  | Interchange { compute; d1; d2 } ->
+      Format.fprintf ppf "%s.interchange(%s, %s)" compute d1 d2
+  | Split { compute; dim; factor; outer; inner } ->
+      Format.fprintf ppf "%s.split(%s, %d, %s, %s)" compute dim factor outer
+        inner
+  | Tile { compute; d1; d2; f1; f2; o1; o2; i1; i2 } ->
+      Format.fprintf ppf "%s.tile(%s, %s, %d, %d, %s, %s, %s, %s)" compute d1
+        d2 f1 f2 o1 o2 i1 i2
+  | Skew { compute; d1; d2; f1; f2; n1; n2 } ->
+      Format.fprintf ppf "%s.skew(%s, %s, %d, %d, %s, %s)" compute d1 d2 f1 f2
+        n1 n2
+  | After { compute; anchor; level } ->
+      Format.fprintf ppf "%s.after(%s, %d)" compute anchor level
+  | Reverse { compute; dim; new_dim } ->
+      Format.fprintf ppf "%s.reverse(%s, %s)" compute dim new_dim
+  | Fuse { c1; c2; level } -> Format.fprintf ppf "fuse(%s, %s, %d)" c1 c2 level
+  | Pipeline { compute; dim; ii } ->
+      Format.fprintf ppf "%s.pipeline(%s, %d)" compute dim ii
+  | Unroll { compute; dim; factor } ->
+      Format.fprintf ppf "%s.unroll(%s, %d)" compute dim factor
+  | Partition { array; factors; kind } ->
+      Format.fprintf ppf "%s.partition({%s}, %a)" array
+        (String.concat ", " (List.map string_of_int factors))
+        pp_kind kind
+  | Auto_dse -> Format.pp_print_string ppf "f.auto_DSE()"

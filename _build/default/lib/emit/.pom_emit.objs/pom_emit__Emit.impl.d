@@ -1,0 +1,1 @@
+lib/emit/emit.ml: Ast Buffer Constr Dtype Expr Float Ir Linexpr List Option Placeholder Pom_affine Pom_dsl Pom_poly Printf Schedule String

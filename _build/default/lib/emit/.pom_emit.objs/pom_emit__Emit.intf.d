@@ -1,0 +1,1 @@
+lib/emit/emit.mli: Pom_affine

@@ -1,0 +1,1 @@
+lib/emit/emit_mlir.ml: Ast Buffer Constr Dtype Expr Ir Linexpr List Placeholder Pom_affine Pom_dsl Pom_poly Printf Schedule String

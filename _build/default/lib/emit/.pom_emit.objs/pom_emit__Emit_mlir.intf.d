@@ -1,0 +1,1 @@
+lib/emit/emit_mlir.mli: Pom_affine

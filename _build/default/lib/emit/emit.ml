@@ -1,0 +1,250 @@
+open Pom_poly
+open Pom_dsl
+open Pom_affine
+
+let linexpr_to_c e =
+  let terms =
+    List.map
+      (fun d ->
+        let c = Linexpr.coeff e d in
+        if c = 1 then d
+        else if c = -1 then "-" ^ d
+        else Printf.sprintf "%d*%s" c d)
+      (Linexpr.dims e)
+  in
+  let k = Linexpr.const_of e in
+  let parts = terms @ (if k <> 0 || terms = [] then [ string_of_int k ] else []) in
+  let joined =
+    List.fold_left
+      (fun acc p ->
+        if acc = "" then p
+        else if String.length p > 0 && p.[0] = '-' then acc ^ " - " ^ String.sub p 1 (String.length p - 1)
+        else acc ^ " + " ^ p)
+      "" parts
+  in
+  joined
+
+(* C's / truncates toward zero; strip-mined and skewed bounds need true
+   floor/ceil semantics, supplied by prelude helpers *)
+let lb_to_c (b : Ast.bound) =
+  if b.coef = 1 then linexpr_to_c b.expr
+  else Printf.sprintf "pom_ceil_div(%s, %d)" (linexpr_to_c b.expr) b.coef
+
+let ub_to_c (b : Ast.bound) =
+  if b.coef = 1 then linexpr_to_c b.expr
+  else Printf.sprintf "pom_floor_div(%s, %d)" (linexpr_to_c b.expr) b.coef
+
+let bounds_to_c to_c combiner = function
+  | [ b ] -> to_c b
+  | bs ->
+      List.fold_left
+        (fun acc b ->
+          match acc with
+          | None -> Some (to_c b)
+          | Some a -> Some (Printf.sprintf "%s(%s, %s)" combiner a (to_c b)))
+        None bs
+      |> Option.get
+
+let rec index_to_c = function
+  | Expr.Ix_var d -> d
+  | Expr.Ix_const k -> string_of_int k
+  | Expr.Ix_add (a, b) -> Printf.sprintf "%s + %s" (index_to_c a) (index_to_c b)
+  | Expr.Ix_sub (a, b) -> Printf.sprintf "%s - (%s)" (index_to_c a) (index_to_c b)
+  | Expr.Ix_mul (k, a) -> Printf.sprintf "%d*(%s)" k (index_to_c a)
+
+let access_to_c (p : Placeholder.t) ixs =
+  p.name
+  ^ String.concat ""
+      (List.map (fun ix -> Printf.sprintf "[%s]" (index_to_c ix)) ixs)
+
+let rec expr_to_c = function
+  | Expr.Load (p, ixs) -> access_to_c p ixs
+  | Expr.Fconst f ->
+      if Float.is_integer f then Printf.sprintf "%.1ff" f
+      else Printf.sprintf "%gf" f
+  | Expr.Neg a -> Printf.sprintf "-(%s)" (expr_to_c a)
+  | Expr.Bin (Expr.Min, a, b) ->
+      Printf.sprintf "fminf(%s, %s)" (expr_to_c a) (expr_to_c b)
+  | Expr.Bin (Expr.Max, a, b) ->
+      Printf.sprintf "fmaxf(%s, %s)" (expr_to_c a) (expr_to_c b)
+  | Expr.Bin (op, a, b) ->
+      let sym =
+        match op with
+        | Expr.Add -> "+"
+        | Expr.Sub -> "-"
+        | Expr.Mul -> "*"
+        | Expr.Div -> "/"
+        | Expr.Min | Expr.Max -> assert false
+      in
+      Printf.sprintf "(%s %s %s)" (expr_to_c a) sym (expr_to_c b)
+
+let constr_to_c c =
+  match c with
+  | Constr.Eq e -> Printf.sprintf "%s == 0" (linexpr_to_c e)
+  | Constr.Ge e -> Printf.sprintf "%s >= 0" (linexpr_to_c e)
+
+let buffer_add_line buf indent line =
+  Buffer.add_string buf (String.make indent ' ');
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n'
+
+let rec emit_node buf indent = function
+  | Ir.For { iter; lbs; ubs; attrs; body } ->
+      buffer_add_line buf indent
+        (Printf.sprintf "for (int %s = %s; %s <= %s; %s++) {" iter
+           (bounds_to_c lb_to_c "imax" lbs)
+           iter
+           (bounds_to_c ub_to_c "imin" ubs)
+           iter);
+      (match attrs.Ir.pipeline_ii with
+      | Some ii ->
+          buffer_add_line buf indent (Printf.sprintf "#pragma HLS pipeline II=%d" ii)
+      | None -> ());
+      (match attrs.Ir.unroll_factor with
+      | Some f ->
+          buffer_add_line buf indent (Printf.sprintf "#pragma HLS unroll factor=%d" f)
+      | None -> ());
+      List.iter (emit_node buf (indent + 2)) body;
+      buffer_add_line buf indent "}"
+  | Ir.If (guards, body) ->
+      buffer_add_line buf indent
+        (Printf.sprintf "if (%s) {"
+           (String.concat " && " (List.map constr_to_c guards)));
+      List.iter (emit_node buf (indent + 2)) body;
+      buffer_add_line buf indent "}"
+  | Ir.Op s ->
+      let p, ixs = s.Ir.dest in
+      buffer_add_line buf indent
+        (Printf.sprintf "%s = %s;" (access_to_c p ixs) (expr_to_c s.Ir.rhs))
+
+let array_param (info : Ir.array_info) =
+  let p = info.Ir.placeholder in
+  Printf.sprintf "%s %s%s"
+    (Dtype.c_name p.Placeholder.dtype)
+    p.name
+    (String.concat ""
+       (List.map (fun d -> Printf.sprintf "[%d]" d) p.Placeholder.shape))
+
+let kind_to_c = function
+  | Schedule.Cyclic -> "cyclic"
+  | Schedule.Block -> "block"
+  | Schedule.Complete -> "complete"
+
+let partition_pragmas (info : Ir.array_info) =
+  let p = info.Ir.placeholder in
+  List.concat
+    (List.mapi
+       (fun dim factor ->
+         if factor > 1 then
+           [
+             Printf.sprintf
+               "#pragma HLS array_partition variable=%s %s factor=%d dim=%d"
+               p.Placeholder.name
+               (kind_to_c info.Ir.partition_kind)
+               factor (dim + 1);
+           ]
+         else [])
+       info.Ir.partition)
+
+(* Does the loop tree use bound lists (imax/imin) or non-unit coefficients
+   (floor/ceil division)? *)
+let rec needs_helpers = function
+  | Ir.For { lbs; ubs; body; _ } ->
+      List.length lbs > 1
+      || List.length ubs > 1
+      || List.exists (fun (b : Ast.bound) -> b.Ast.coef <> 1) (lbs @ ubs)
+      || List.exists needs_helpers body
+  | Ir.If (_, body) -> List.exists needs_helpers body
+  | Ir.Op _ -> false
+
+let hls_c (f : Ir.func) =
+  let buf = Buffer.create 4096 in
+  buffer_add_line buf 0 "// Generated by POM";
+  buffer_add_line buf 0 "#include <math.h>";
+  buffer_add_line buf 0 "#include <stdint.h>";
+  buffer_add_line buf 0 "";
+  if List.exists needs_helpers f.Ir.body then begin
+    buffer_add_line buf 0
+      "static inline int imax(int a, int b) { return a > b ? a : b; }";
+    buffer_add_line buf 0
+      "static inline int imin(int a, int b) { return a < b ? a : b; }";
+    buffer_add_line buf 0
+      "static inline int pom_floor_div(int a, int b) { int q = a / b, r = a % b; return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q; }";
+    buffer_add_line buf 0
+      "static inline int pom_ceil_div(int a, int b) { return -pom_floor_div(-a, b); }";
+    buffer_add_line buf 0 ""
+  end;
+  buffer_add_line buf 0
+    (Printf.sprintf "void %s(%s) {" f.Ir.name
+       (String.concat ", " (List.map array_param f.Ir.arrays)));
+  List.iter
+    (fun info -> List.iter (buffer_add_line buf 0) (partition_pragmas info))
+    f.Ir.arrays;
+  List.iter (emit_node buf 2) f.Ir.body;
+  buffer_add_line buf 0 "}";
+  Buffer.contents buf
+
+let loc s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let testbench (f : Ir.func) =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (hls_c f);
+  buffer_add_line buf 0 "";
+  buffer_add_line buf 0 "#include <stdio.h>";
+  buffer_add_line buf 0 "";
+  (* the simulator's deterministic initializer, bit-for-bit *)
+  buffer_add_line buf 0 "static unsigned int init_mix(const char *name, unsigned int flat) {";
+  buffer_add_line buf 0 "  unsigned int h = 2166136261u;";
+  buffer_add_line buf 0 "  for (const char *p = name; *p; p++) h = (h ^ (unsigned char)*p) * 16777619u;";
+  buffer_add_line buf 0 "  h = h + flat * 2654435761u;";
+  buffer_add_line buf 0 "  h ^= h >> 13;";
+  buffer_add_line buf 0 "  h *= 2654435761u;";
+  buffer_add_line buf 0 "  h ^= h >> 16;";
+  buffer_add_line buf 0 "  return h & 0xFFFFu;";
+  buffer_add_line buf 0 "}";
+  buffer_add_line buf 0 "";
+  List.iter
+    (fun (info : Ir.array_info) ->
+      let p = info.Ir.placeholder in
+      buffer_add_line buf 0
+        (Printf.sprintf "static %s %s%s;"
+           (Dtype.c_name p.Placeholder.dtype)
+           p.name
+           (String.concat ""
+              (List.map (Printf.sprintf "[%d]") p.Placeholder.shape))))
+    f.Ir.arrays;
+  buffer_add_line buf 0 "";
+  buffer_add_line buf 0 "int main(void) {";
+  List.iter
+    (fun (info : Ir.array_info) ->
+      let p = info.Ir.placeholder in
+      let size = Placeholder.size p in
+      let cty = Dtype.c_name p.Placeholder.dtype in
+      buffer_add_line buf 2
+        (Printf.sprintf
+           "for (unsigned int pom_k = 0; pom_k < %du; pom_k++) ((%s *)%s)[pom_k] = (%s)(0.5 + init_mix(\"%s\", pom_k) / 65536.0);"
+           size cty p.name cty p.name))
+    f.Ir.arrays;
+  buffer_add_line buf 2
+    (Printf.sprintf "%s(%s);" f.Ir.name
+       (String.concat ", "
+          (List.map
+             (fun (info : Ir.array_info) ->
+               info.Ir.placeholder.Placeholder.name)
+             f.Ir.arrays)));
+  List.iter
+    (fun (info : Ir.array_info) ->
+      let p = info.Ir.placeholder in
+      let size = Placeholder.size p in
+      let cty = Dtype.c_name p.Placeholder.dtype in
+      buffer_add_line buf 2
+        (Printf.sprintf
+           "{ double pom_sum = 0.0; for (unsigned int pom_k = 0; pom_k < %du; pom_k++) pom_sum += ((%s *)%s)[pom_k]; printf(\"%s %%.10e\\n\", pom_sum); }"
+           size cty p.name p.name))
+    f.Ir.arrays;
+  buffer_add_line buf 2 "return 0;";
+  buffer_add_line buf 0 "}";
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Synthesizable HLS C back-end: translate the annotated affine dialect to
+    C with [#pragma HLS] directives (the final step of Fig. 7).  All loop
+    attributes become [pipeline]/[unroll] pragmas and array partition
+    information becomes [array_partition] pragmas at function entry. *)
+
+(** Render a full HLS C translation unit (function definition with array
+    arguments). *)
+val hls_c : Pom_affine.Ir.func -> string
+
+(** Non-empty source lines of a rendered program — the LoC metric of
+    Fig. 15. *)
+val loc : string -> int
+
+(** A self-contained C program: the generated kernel plus a [main] that
+    initializes every array with the exact recipe of the OCaml simulator's
+    {!Pom_sim.Memory.create} and prints one per-array element-sum checksum
+    per line ("<name> <sum>").  Compiling and running it cross-checks the
+    generated code against the simulator. *)
+val testbench : Pom_affine.Ir.func -> string

@@ -1,0 +1,167 @@
+open Pom_poly
+open Pom_dsl
+open Pom_affine
+
+let mlir_type dt =
+  match (dt : Dtype.t) with
+  | Dtype.F32 -> "f32"
+  | Dtype.F64 -> "f64"
+  | t -> Printf.sprintf "%c%d" (if Dtype.is_signed t then 'i' else 'u') (Dtype.bits t)
+
+let memref_type (p : Placeholder.t) =
+  Printf.sprintf "memref<%sx%s>"
+    (String.concat "x" (List.map string_of_int p.Placeholder.shape))
+    (mlir_type p.Placeholder.dtype)
+
+(* affine expressions over loop SSA values: %i * 4 + %j + 1 *)
+let linexpr_to_mlir e =
+  let terms =
+    List.map
+      (fun d ->
+        let c = Linexpr.coeff e d in
+        if c = 1 then "%" ^ d else Printf.sprintf "%%%s * %d" d c)
+      (Linexpr.dims e)
+  in
+  let k = Linexpr.const_of e in
+  let parts = terms @ (if k <> 0 || terms = [] then [ string_of_int k ] else []) in
+  String.concat " + " parts
+
+let index_to_mlir ix = linexpr_to_mlir (Expr.index_to_linexpr ix)
+
+let bound_to_mlir ~upper (b : Ast.bound) =
+  (* affine.for upper bounds are exclusive *)
+  let e = if upper then Linexpr.add b.Ast.expr (Linexpr.const b.Ast.coef) else b.Ast.expr in
+  if b.Ast.coef = 1 then linexpr_to_mlir e
+  else Printf.sprintf "(%s) floordiv %d" (linexpr_to_mlir e) b.Ast.coef
+
+let bounds_to_mlir ~upper bs =
+  match bs with
+  | [ b ] -> bound_to_mlir ~upper b
+  | bs ->
+      Printf.sprintf "%s(%s)"
+        (if upper then "min" else "max")
+        (String.concat ", " (List.map (bound_to_mlir ~upper) bs))
+
+type ctx = { buf : Buffer.t; mutable next : int }
+
+let fresh ctx =
+  let v = Printf.sprintf "%%%d" ctx.next in
+  ctx.next <- ctx.next + 1;
+  v
+
+let line ctx indent s =
+  Buffer.add_string ctx.buf (String.make indent ' ');
+  Buffer.add_string ctx.buf s;
+  Buffer.add_char ctx.buf '\n'
+
+let rec emit_expr ctx indent dt = function
+  | Expr.Load (p, ixs) ->
+      let v = fresh ctx in
+      line ctx indent
+        (Printf.sprintf "%s = affine.load %%%s[%s] : %s" v p.Placeholder.name
+           (String.concat ", " (List.map index_to_mlir ixs))
+           (memref_type p));
+      v
+  | Expr.Fconst f ->
+      let v = fresh ctx in
+      line ctx indent
+        (Printf.sprintf "%s = arith.constant %g : %s" v f (mlir_type dt));
+      v
+  | Expr.Neg a ->
+      let va = emit_expr ctx indent dt a in
+      let v = fresh ctx in
+      line ctx indent (Printf.sprintf "%s = arith.negf %s : %s" v va (mlir_type dt));
+      v
+  | Expr.Bin (op, a, b) ->
+      let va = emit_expr ctx indent dt a in
+      let vb = emit_expr ctx indent dt b in
+      let v = fresh ctx in
+      let is_float = Dtype.is_float dt in
+      let name =
+        match (op, is_float) with
+        | Expr.Add, true -> "arith.addf"
+        | Expr.Add, false -> "arith.addi"
+        | Expr.Sub, true -> "arith.subf"
+        | Expr.Sub, false -> "arith.subi"
+        | Expr.Mul, true -> "arith.mulf"
+        | Expr.Mul, false -> "arith.muli"
+        | Expr.Div, true -> "arith.divf"
+        | Expr.Div, false -> "arith.divsi"
+        | Expr.Min, true -> "arith.minimumf"
+        | Expr.Min, false -> "arith.minsi"
+        | Expr.Max, true -> "arith.maximumf"
+        | Expr.Max, false -> "arith.maxsi"
+      in
+      line ctx indent
+        (Printf.sprintf "%s = %s %s, %s : %s" v name va vb (mlir_type dt));
+      v
+
+let attrs_to_mlir (a : Ir.attrs) =
+  let parts =
+    (match a.Ir.pipeline_ii with
+    | Some ii -> [ Printf.sprintf "hls.pipeline_ii = %d : i32" ii ]
+    | None -> [])
+    @
+    match a.Ir.unroll_factor with
+    | Some f -> [ Printf.sprintf "hls.unroll = %d : i32" f ]
+    | None -> []
+  in
+  if parts = [] then "" else Printf.sprintf " {%s}" (String.concat ", " parts)
+
+let constr_to_mlir c =
+  match (c : Constr.t) with
+  | Constr.Eq e -> linexpr_to_mlir e ^ " == 0"
+  | Constr.Ge e -> linexpr_to_mlir e ^ " >= 0"
+
+let rec emit_node ctx indent = function
+  | Ir.For { iter; lbs; ubs; attrs; body } ->
+      line ctx indent
+        (Printf.sprintf "affine.for %%%s = %s to %s {" iter
+           (bounds_to_mlir ~upper:false lbs)
+           (bounds_to_mlir ~upper:true ubs));
+      List.iter (emit_node ctx (indent + 2)) body;
+      line ctx indent (Printf.sprintf "}%s" (attrs_to_mlir attrs))
+  | Ir.If (guards, body) ->
+      line ctx indent
+        (Printf.sprintf "affine.if affine_set<: %s> {"
+           (String.concat ", " (List.map constr_to_mlir guards)));
+      List.iter (emit_node ctx (indent + 2)) body;
+      line ctx indent "}"
+  | Ir.Op s ->
+      let p, ixs = s.Ir.dest in
+      let dt = p.Placeholder.dtype in
+      let v = emit_expr ctx indent dt s.Ir.rhs in
+      line ctx indent
+        (Printf.sprintf "affine.store %s, %%%s[%s] : %s" v p.Placeholder.name
+           (String.concat ", " (List.map index_to_mlir ixs))
+           (memref_type p))
+
+let partition_attrs (info : Ir.array_info) =
+  let factors = info.Ir.partition in
+  if List.exists (fun f -> f > 1) factors then
+    Printf.sprintf " {hls.partition = [%s], hls.partition_kind = \"%s\"}"
+      (String.concat ", " (List.map string_of_int factors))
+      (match info.Ir.partition_kind with
+      | Schedule.Cyclic -> "cyclic"
+      | Schedule.Block -> "block"
+      | Schedule.Complete -> "complete")
+  else ""
+
+let mlir (f : Ir.func) =
+  let ctx = { buf = Buffer.create 4096; next = 0 } in
+  line ctx 0 "module {";
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (info : Ir.array_info) ->
+           Printf.sprintf "%%%s: %s%s" info.Ir.placeholder.Placeholder.name
+             (memref_type info.Ir.placeholder)
+             (partition_attrs info))
+         f.Ir.arrays)
+  in
+  line ctx 2 (Printf.sprintf "func.func @%s(%s) {" f.Ir.name params);
+  List.iter (emit_node ctx 4) f.Ir.body;
+  line ctx 4 "return";
+  line ctx 2 "}";
+  line ctx 0 "}";
+  Buffer.contents ctx.buf

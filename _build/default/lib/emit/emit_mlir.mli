@@ -1,0 +1,10 @@
+(** Textual MLIR (affine + arith + memref dialects) for the annotated
+    affine-dialect IR — the paper's Fig. 9 (d) artifact, with HLS pragma
+    information carried as discardable [hls.*] attributes.
+
+    The printer targets readability and dialect fidelity (SSA values,
+    [affine.for]/[affine.load]/[affine.store], [arith] ops typed by the
+    statement's element type); max/min loop bounds are emitted with inline
+    affine maps. *)
+
+val mlir : Pom_affine.Ir.func -> string

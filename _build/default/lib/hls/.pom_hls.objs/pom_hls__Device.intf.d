@@ -1,0 +1,1 @@
+lib/hls/device.mli: Format

@@ -1,0 +1,1 @@
+lib/hls/latency.ml: Float Hashtbl Int List Opchar Option Pom_poly Pom_polyir String Summary

@@ -1,0 +1,1 @@
+lib/hls/latency.mli: Summary

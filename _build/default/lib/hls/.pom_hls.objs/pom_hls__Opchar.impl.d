@@ -1,0 +1,1 @@
+lib/hls/opchar.ml: Compute Dtype Expr Hashtbl List Option Placeholder Pom_dsl String

@@ -1,0 +1,1 @@
+lib/hls/opchar.mli: Pom_dsl

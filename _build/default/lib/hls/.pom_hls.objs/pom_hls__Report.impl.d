@@ -1,0 +1,1 @@
+lib/hls/report.ml: Device Float Format Latency List Pom_polyir Printf Prog Resource Stmt_poly String Summary

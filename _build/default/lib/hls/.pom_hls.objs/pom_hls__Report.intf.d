@@ -1,0 +1,1 @@
+lib/hls/report.mli: Device Format Pom_dsl Pom_polyir Resource

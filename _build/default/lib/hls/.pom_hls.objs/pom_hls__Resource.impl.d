@@ -1,0 +1,1 @@
+lib/hls/resource.ml: Device Format Hashtbl Latency List Opchar Option Pom_dsl Pom_polyir Summary

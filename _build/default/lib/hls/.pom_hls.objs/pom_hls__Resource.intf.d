@@ -1,0 +1,1 @@
+lib/hls/resource.mli: Device Format Latency Summary

@@ -1,0 +1,1 @@
+lib/hls/summary.ml: Basic_set Compute Dep Format Hashtbl Linexpr List Opchar Pom_dsl Pom_poly Pom_polyir Printf Prog Sched Stmt_poly String

@@ -1,0 +1,1 @@
+lib/hls/summary.mli: Format Opchar Pom_poly Pom_polyir Prog Stmt_poly

@@ -1,0 +1,1 @@
+lib/hls/timeline.ml: Ast Buffer Constr Hashtbl Latency List Option Pom_poly Pom_polyir Printf Prog Report Stmt_poly String Summary

@@ -1,0 +1,1 @@
+lib/hls/timeline.mli: Pom_polyir

@@ -1,0 +1,34 @@
+(** The latency half of the virtual HLS synthesizer: achieved initiation
+    intervals and cycle counts per fusion group.
+
+    II = max(target, RecMII, ResMII, serial-issue bound) where RecMII stems
+    from loop-carried dependences at the pipelined level (with unrolled
+    accumulation chains lengthening the recurrence), ResMII from memory-port
+    pressure (2 ports per array bank, banks = array-partition product), and
+    the serial bound from inner iterations left neither unrolled nor
+    flattened. *)
+
+type group_eval = {
+  group : int;
+  pipelined : bool;
+  achieved_ii : int;  (** 1 when not pipelined *)
+  latency : int;
+  depth : int;
+  (* statement name -> physical operator copies after II sharing *)
+  phys_copies : (string * int) list;
+}
+
+(** [eval_group ~partitions profiles] evaluates one fusion group (all
+    profiles share the leading scalar constant).  [partitions] maps an
+    array name to its per-dimension partition factors ([[]] or all-ones if
+    unpartitioned). *)
+val eval_group : partitions:(string -> int list) -> Summary.t list -> group_eval
+
+(** Evaluate every group of a program; returns the groups in execution
+    order and the total (summed) latency. *)
+val eval_program :
+  partitions:(string -> int list) -> Summary.t list -> group_eval list * int
+
+(** Latency of the untransformed, unannotated program (the paper's
+    "original C code without any optimization" baseline). *)
+val sequential_latency : Summary.t list -> int

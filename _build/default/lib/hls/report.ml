@@ -1,0 +1,104 @@
+open Pom_polyir
+
+type t = {
+  latency : int;
+  group_latencies : (int * int) list;
+  iis : (int * int) list;
+  usage : Resource.usage;
+  power : float;
+  feasible : bool;
+  parallelism : float;
+  unroll_products : (string * int) list;
+}
+
+let partition_fn (prog : Prog.t) array =
+  match List.assoc_opt array prog.Prog.partitions with
+  | Some (factors, _) -> factors
+  | None -> []
+
+type latency_mode = [ `Sequential | `Dataflow ]
+
+let synthesize ?(composition = Resource.Reuse) ?(latency_mode = `Sequential)
+    ~device prog =
+  let profiles = Summary.profile_all prog in
+  let partitions = partition_fn prog in
+  let evals, latency = Latency.eval_program ~partitions profiles in
+  let latency =
+    match latency_mode with
+    | `Sequential -> latency
+    | `Dataflow ->
+        (* a task pipeline improves throughput, not single-input latency:
+           stages still run one after another on one input, and unmatched
+           producer/consumer paces add stalls (Section VII-E) *)
+        latency * 5 / 4
+  in
+  let usage = Resource.of_program ~device ~composition ~partitions profiles evals in
+  let iis =
+    List.filter_map
+      (fun (e : Latency.group_eval) ->
+        if e.Latency.pipelined then Some (e.Latency.group, e.Latency.achieved_ii)
+        else None)
+      evals
+  in
+  let unroll_products =
+    List.map
+      (fun (p : Summary.t) ->
+        ( Stmt_poly.name p.Summary.stmt,
+          List.fold_left (fun a l -> a * l.Summary.unroll) 1 p.Summary.loops ))
+      profiles
+  in
+  let parallelism =
+    List.fold_left
+      (fun acc (p : Summary.t) ->
+        let name = Stmt_poly.name p.Summary.stmt in
+        let u = List.assoc name unroll_products in
+        let ii =
+          match
+            List.find_opt
+              (fun (e : Latency.group_eval) -> e.Latency.group = p.Summary.group)
+              evals
+          with
+          | Some e -> e.Latency.achieved_ii
+          | None -> 1
+        in
+        Float.max acc (float_of_int u /. float_of_int ii))
+      0.0 profiles
+  in
+  {
+    latency;
+    group_latencies =
+      List.map
+        (fun (e : Latency.group_eval) -> (e.Latency.group, e.Latency.latency))
+        evals;
+    iis;
+    usage;
+    power = Resource.power usage;
+    feasible = Resource.fits device usage;
+    parallelism;
+    unroll_products;
+  }
+
+let baseline_latency func =
+  let prog = Prog.of_func_unscheduled func in
+  Latency.sequential_latency (Summary.profile_all prog)
+
+let speedup ~baseline t = float_of_int baseline /. float_of_int t.latency
+
+let latency_ms (d : Device.t) t =
+  float_of_int t.latency /. (d.Device.clock_mhz *. 1000.0)
+
+let util pct total = 100.0 *. float_of_int pct /. float_of_int total
+
+let util_dsp (d : Device.t) t = util t.usage.Resource.dsp d.Device.dsp
+
+let util_lut (d : Device.t) t = util t.usage.Resource.lut d.Device.lut
+
+let util_ff (d : Device.t) t = util t.usage.Resource.ff d.Device.ff
+
+let pp ppf t =
+  Format.fprintf ppf
+    "latency %d cycles, II [%s], %a, %.3f W, parallelism %.1f%s" t.latency
+    (String.concat "; "
+       (List.map (fun (g, ii) -> Printf.sprintf "g%d:%d" g ii) t.iis))
+    Resource.pp t.usage t.power t.parallelism
+    (if t.feasible then "" else " (INFEASIBLE)")

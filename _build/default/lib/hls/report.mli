@@ -1,0 +1,50 @@
+(** The virtual Vitis front door: synthesize a scheduled program into the
+    figures a Vitis HLS synthesis + Vivado implementation report would
+    give — latency, achieved II, resource usage and utilization, power —
+    plus the paper's derived parallelism metric (tile-size product divided
+    by achieved II). *)
+
+type t = {
+  latency : int;  (** total cycles *)
+  group_latencies : (int * int) list;  (** (group id, cycles) *)
+  iis : (int * int) list;  (** (group id, achieved II) for pipelined groups *)
+  usage : Resource.usage;
+  power : float;
+  feasible : bool;  (** fits the device *)
+  parallelism : float;
+  unroll_products : (string * int) list;  (** statement -> unrolled copies *)
+}
+
+(** How group latencies compose: [`Sequential] sums them (loops execute one
+    after another); [`Dataflow] overlaps them in a task pipeline whose
+    throughput is set by the slowest stage, with a stall factor for
+    unmatched producer/consumer paces (Fig. 13's ScaleHLS mode). *)
+type latency_mode = [ `Sequential | `Dataflow ]
+
+(** Per-dimension partition factors of an array in a scheduled program. *)
+val partition_fn : Pom_polyir.Prog.t -> string -> int list
+
+val synthesize :
+  ?composition:Resource.composition ->
+  ?latency_mode:latency_mode ->
+  device:Device.t ->
+  Pom_polyir.Prog.t ->
+  t
+
+(** Cycles of the original unoptimized program (schedule directives
+    stripped): the denominator-free baseline of every speedup in the
+    paper. *)
+val baseline_latency : Pom_dsl.Func.t -> int
+
+val speedup : baseline:int -> t -> float
+
+(** Wall-clock latency in milliseconds at the device's target clock. *)
+val latency_ms : Device.t -> t -> float
+
+val util_dsp : Device.t -> t -> float
+
+val util_lut : Device.t -> t -> float
+
+val util_ff : Device.t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+(** The area half of the virtual HLS synthesizer: DSP/LUT/FF accumulation
+    from physical operator copies, memory-access logic, and array-partition
+    banking overhead. *)
+
+type usage = { dsp : int; lut : int; ff : int; bram : int (** BRAM18 blocks *) }
+
+val zero : usage
+
+val add : usage -> usage -> usage
+
+val max_usage : usage -> usage -> usage
+
+(** How sequential groups compose: [Reuse] shares operators across groups
+    (POM's resource reuse; area = max over groups), [Dataflow] instantiates
+    each group separately (ScaleHLS's dataflow mode; area = sum). *)
+type composition = Reuse | Dataflow
+
+(** Operator/register area of one group (no banking or base overhead) —
+    what a per-loop resource estimate sees. *)
+val group_usage : Summary.t list -> Latency.group_eval -> usage
+
+(** [of_program ~device ~composition ~partitions profiles evals] combines
+    per-group operator area with the program-wide banking and control
+    overhead.  Arrays small enough for on-chip storage are mapped to BRAM18
+    blocks (at least one per partition bank); larger arrays live in
+    external memory and consume no BRAM, as the evaluation's 4096x4096
+    matrices must. *)
+val of_program :
+  device:Device.t ->
+  composition:composition ->
+  partitions:(string -> int list) ->
+  Summary.t list ->
+  Latency.group_eval list ->
+  usage
+
+(** BRAM18 blocks available on a device. *)
+val bram18_blocks : Device.t -> int
+
+(** Dynamic + static power (Watts) as an affine function of utilization. *)
+val power : usage -> float
+
+val fits : Device.t -> usage -> bool
+
+val pp : Format.formatter -> usage -> unit

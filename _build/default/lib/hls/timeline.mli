@@ -1,0 +1,9 @@
+(** ASCII schedule timelines in the style of Fig. 2 (c)(d)(e): execution
+    order of loop iterations (rows) against clock cycles (columns), with
+    each statement instance occupying [depth] cycles starting at its issue
+    slot (consecutive instances of a pipelined loop issue [II] cycles
+    apart).  Intended for small problem sizes — it renders the first
+    [max_instances] statement instances. *)
+
+val render :
+  ?max_instances:int -> ?max_width:int -> Pom_polyir.Prog.t -> string

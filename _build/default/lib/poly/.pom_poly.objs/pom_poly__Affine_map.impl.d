@@ -1,0 +1,1 @@
+lib/poly/affine_map.ml: Basic_set Constr Format Linexpr List String

@@ -1,0 +1,1 @@
+lib/poly/affine_map.mli: Basic_set Format Linexpr

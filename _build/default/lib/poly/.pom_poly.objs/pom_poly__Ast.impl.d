@@ -1,0 +1,1 @@
+lib/poly/ast.ml: Constr Format Linexpr List String

@@ -1,0 +1,1 @@
+lib/poly/ast.mli: Constr Format Linexpr

@@ -1,0 +1,1 @@
+lib/poly/ast_build.ml: Ast Basic_set Constr Feasible Int Linexpr List Printf Sched String

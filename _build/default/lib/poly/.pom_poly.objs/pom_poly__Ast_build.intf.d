@@ -1,0 +1,1 @@
+lib/poly/ast_build.mli: Ast Basic_set Sched

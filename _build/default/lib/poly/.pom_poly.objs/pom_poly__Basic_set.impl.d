@@ -1,0 +1,1 @@
+lib/poly/basic_set.ml: Constr Format Linexpr List Printf String

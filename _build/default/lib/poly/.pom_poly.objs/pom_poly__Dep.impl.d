@@ -1,0 +1,1 @@
+lib/poly/dep.ml: Basic_set Constr Feasible Format Linexpr List Option String

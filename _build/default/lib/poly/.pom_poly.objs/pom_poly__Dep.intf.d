@@ -1,0 +1,1 @@
+lib/poly/dep.mli: Basic_set Format Linexpr

@@ -1,0 +1,1 @@
+lib/poly/dep2.ml: Basic_set Constr Dep Iset Linexpr List Sched

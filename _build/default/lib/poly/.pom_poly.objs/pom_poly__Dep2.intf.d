@@ -1,0 +1,1 @@
+lib/poly/dep2.mli: Basic_set Constr Dep Linexpr Sched

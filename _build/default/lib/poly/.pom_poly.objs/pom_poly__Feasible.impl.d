@@ -1,0 +1,1 @@
+lib/poly/feasible.ml: Basic_set Constr Linexpr List Printf

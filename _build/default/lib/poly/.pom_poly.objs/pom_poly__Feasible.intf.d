@@ -1,0 +1,1 @@
+lib/poly/feasible.mli: Basic_set Linexpr

@@ -1,0 +1,1 @@
+lib/poly/iset.ml: Basic_set Feasible Format List String

@@ -1,0 +1,1 @@
+lib/poly/iset.mli: Basic_set Constr Format Linexpr

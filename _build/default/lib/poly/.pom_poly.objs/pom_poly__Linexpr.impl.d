@@ -1,0 +1,1 @@
+lib/poly/linexpr.ml: Format Int List Map String

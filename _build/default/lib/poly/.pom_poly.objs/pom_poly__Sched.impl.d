@@ -1,0 +1,1 @@
+lib/poly/sched.ml: Format Int List String

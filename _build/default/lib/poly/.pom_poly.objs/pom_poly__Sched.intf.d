@@ -1,0 +1,1 @@
+lib/poly/sched.mli: Format

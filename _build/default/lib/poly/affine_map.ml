@@ -1,0 +1,79 @@
+type t = { in_dims : string list; out_exprs : Linexpr.t list }
+
+let make ~in_dims ~out_exprs =
+  List.iter
+    (fun e ->
+      List.iter
+        (fun d ->
+          if not (List.mem d in_dims) then
+            invalid_arg ("Affine_map: unknown input dim " ^ d))
+        (Linexpr.dims e))
+    out_exprs;
+  { in_dims; out_exprs }
+
+let identity dims = { in_dims = dims; out_exprs = List.map Linexpr.var dims }
+
+let n_out m = List.length m.out_exprs
+
+let apply m point =
+  if List.length point <> List.length m.in_dims then
+    invalid_arg "Affine_map.apply: arity mismatch";
+  let env d =
+    let rec find ds vs =
+      match (ds, vs) with
+      | d' :: _, v :: _ when d' = d -> v
+      | _ :: ds, _ :: vs -> find ds vs
+      | _ -> raise Not_found
+    in
+    find m.in_dims point
+  in
+  List.map (Linexpr.eval env) m.out_exprs
+
+let compose g f =
+  if List.length f.out_exprs <> List.length g.in_dims then
+    invalid_arg "Affine_map.compose: arity mismatch";
+  let bindings = List.combine g.in_dims f.out_exprs in
+  {
+    in_dims = f.in_dims;
+    out_exprs = List.map (Linexpr.subst_all bindings) g.out_exprs;
+  }
+
+let preimage_set m out_dims s =
+  if Basic_set.dims s <> out_dims then
+    invalid_arg "Affine_map.preimage_set: set space mismatch";
+  if List.length out_dims <> List.length m.out_exprs then
+    invalid_arg "Affine_map.preimage_set: arity mismatch";
+  Basic_set.change_space ~new_dims:m.in_dims
+    ~bindings:(List.combine out_dims m.out_exprs)
+    s
+
+let image_set m out_dims s =
+  if Basic_set.dims s <> m.in_dims then
+    invalid_arg "Affine_map.image_set: set space mismatch";
+  if List.length out_dims <> List.length m.out_exprs then
+    invalid_arg "Affine_map.image_set: arity mismatch";
+  List.iter
+    (fun d ->
+      if List.mem d m.in_dims then
+        invalid_arg "Affine_map.image_set: output dim clashes with input")
+    out_dims;
+  let all = m.in_dims @ out_dims in
+  let lifted =
+    Basic_set.make all
+      (List.map2
+         (fun d e -> Constr.eq (Linexpr.var d) e)
+         out_dims m.out_exprs
+      @ Basic_set.constraints s)
+  in
+  Basic_set.project_onto out_dims lifted
+
+let equal a b =
+  a.in_dims = b.in_dims && List.equal Linexpr.equal a.out_exprs b.out_exprs
+
+let pp ppf m =
+  Format.fprintf ppf "{ [%s] -> [%a] }"
+    (String.concat ", " m.in_dims)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Linexpr.pp)
+    m.out_exprs

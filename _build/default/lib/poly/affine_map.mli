@@ -1,0 +1,35 @@
+(** Multi-dimensional affine maps [in_dims -> out_dims], the analogue of
+    [isl_map] restricted to single-valued affine functions.  Array access
+    functions and schedule functions are values of this type. *)
+
+type t = {
+  in_dims : string list;
+  out_exprs : Linexpr.t list;  (** one per output dimension, over [in_dims] *)
+}
+
+val make : in_dims:string list -> out_exprs:Linexpr.t list -> t
+
+(** Identity map over the given dimensions. *)
+val identity : string list -> t
+
+val n_out : t -> int
+
+(** [apply m point] evaluates the map at an integer point given in
+    [in_dims] order. *)
+val apply : t -> int list -> int list
+
+(** [compose g f] is [g . f]; [f]'s outputs feed [g]'s inputs positionally
+    (their arity must agree with [g]'s input arity). *)
+val compose : t -> t -> t
+
+(** [preimage_set m out_dims s]: given a set [s] over [out_dims] (one per
+    output of [m]), the set over [m.in_dims] of points mapped into [s]. *)
+val preimage_set : t -> string list -> Basic_set.t -> Basic_set.t
+
+(** [image_set m out_dims s]: the image of a set over [m.in_dims] as a set
+    over fresh [out_dims], computed by lifting and projection. *)
+val image_set : t -> string list -> Basic_set.t -> Basic_set.t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

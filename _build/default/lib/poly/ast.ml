@@ -1,0 +1,87 @@
+type bound = { coef : int; expr : Linexpr.t }
+
+type user = { stmt : string; bindings : (string * string) list }
+
+type t =
+  | For of { iter : string; lbs : bound list; ubs : bound list; body : t list }
+  | If of Constr.t list * t list
+  | User of user
+
+let bound coef expr =
+  if coef <= 0 then invalid_arg "Ast.bound: coefficient must be positive";
+  { coef; expr }
+
+let cdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
+
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let eval_lb env lbs =
+  match lbs with
+  | [] -> invalid_arg "Ast.eval_lb: no lower bound"
+  | _ ->
+      List.fold_left
+        (fun acc b -> max acc (cdiv (Linexpr.eval env b.expr) b.coef))
+        min_int lbs
+
+let eval_ub env ubs =
+  match ubs with
+  | [] -> invalid_arg "Ast.eval_ub: no upper bound"
+  | _ ->
+      List.fold_left
+        (fun acc b -> min acc (fdiv (Linexpr.eval env b.expr) b.coef))
+        max_int ubs
+
+let rec users_of_node = function
+  | For { body; _ } -> users body
+  | If (_, body) -> users body
+  | User u -> [ u ]
+
+and users forest = List.concat_map users_of_node forest
+
+let rec depth_of_node = function
+  | For { body; _ } -> 1 + loop_depth body
+  | If (_, body) -> loop_depth body
+  | User _ -> 0
+
+and loop_depth forest =
+  List.fold_left (fun acc n -> max acc (depth_of_node n)) 0 forest
+
+let pp_bound_lb ppf b =
+  if b.coef = 1 then Linexpr.pp ppf b.expr
+  else Format.fprintf ppf "ceil((%a)/%d)" Linexpr.pp b.expr b.coef
+
+let pp_bound_ub ppf b =
+  if b.coef = 1 then Linexpr.pp ppf b.expr
+  else Format.fprintf ppf "floor((%a)/%d)" Linexpr.pp b.expr b.coef
+
+let pp_bounds pp_one combiner ppf = function
+  | [ b ] -> pp_one ppf b
+  | bs ->
+      Format.fprintf ppf "%s(%a)" combiner
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_one)
+        bs
+
+let rec pp ppf node =
+  match node with
+  | For { iter; lbs; ubs; body } ->
+      Format.fprintf ppf "@[<v 2>for %s = %a to %a {@,%a@]@,}" iter
+        (pp_bounds pp_bound_lb "max") lbs
+        (pp_bounds pp_bound_ub "min") ubs pp_forest body
+  | If (guards, body) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " and ")
+           Constr.pp)
+        guards pp_forest body
+  | User u ->
+      Format.fprintf ppf "%s(%s)" u.stmt
+        (String.concat ", " (List.map snd u.bindings))
+
+and pp_forest ppf forest =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp ppf forest

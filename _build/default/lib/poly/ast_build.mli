@@ -1,0 +1,22 @@
+(** Polyhedral code generation: build the {!Ast} forest executing a set of
+    statements, each given by an iteration domain and a (2d+1) schedule, in
+    lexicographic schedule order — the [ast_build] step of Section V-B.
+
+    Statements whose schedules share a constant prefix share the
+    corresponding loops (fusion); scalar constants sequence statements and
+    loop nests; non-rectangular domains (skewed or strip-mined) produce
+    parametric [max]/[min] loop bounds, and residual domain constraints not
+    enforced by any emitted loop bound become [If] guards around the user
+    node. *)
+
+type stmt = {
+  name : string;
+  domain : Basic_set.t;
+  sched : Sched.t;  (** its [Dim] items must be exactly the domain dims *)
+}
+
+(** Raised when schedules are inconsistent (e.g. two statements ordered by
+    identical scalar prefixes of different loop structure). *)
+exception Schedule_error of string
+
+val build : stmt list -> Ast.t list

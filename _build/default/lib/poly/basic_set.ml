@@ -1,0 +1,226 @@
+type t = { dims : string list; constrs : Constr.t list }
+
+let check_dims dims =
+  let sorted = List.sort String.compare dims in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  match dup sorted with
+  | Some d -> invalid_arg ("Basic_set: duplicate dimension " ^ d)
+  | None -> ()
+
+let check_constr dims c =
+  List.iter
+    (fun d ->
+      if not (List.mem d dims) then
+        invalid_arg
+          (Printf.sprintf "Basic_set: constraint %s mentions unknown dim %s"
+             (Constr.to_string c) d))
+    (Constr.dims c)
+
+let make dims constrs =
+  check_dims dims;
+  List.iter (check_constr dims) constrs;
+  { dims; constrs }
+
+let universe dims =
+  check_dims dims;
+  { dims; constrs = [] }
+
+let dims s = s.dims
+
+let n_dims s = List.length s.dims
+
+let constraints s = s.constrs
+
+let add_constraint c s =
+  check_constr s.dims c;
+  { s with constrs = c :: s.constrs }
+
+let add_constraints cs s = List.fold_left (fun s c -> add_constraint c s) s cs
+
+let intersect a b =
+  if a.dims <> b.dims then
+    invalid_arg "Basic_set.intersect: dimension tuples differ";
+  { a with constrs = a.constrs @ b.constrs }
+
+let rename_dim old_name new_name s =
+  if old_name = new_name then s
+  else begin
+    if List.mem new_name s.dims then
+      invalid_arg ("Basic_set.rename_dim: " ^ new_name ^ " already present");
+    {
+      dims = List.map (fun d -> if d = old_name then new_name else d) s.dims;
+      constrs = List.map (Constr.rename_dim old_name new_name) s.constrs;
+    }
+  end
+
+let change_space ~new_dims ~bindings ?(extra = []) s =
+  check_dims new_dims;
+  let constrs = List.map (Constr.subst_all bindings) s.constrs in
+  let result = { dims = new_dims; constrs = constrs @ extra } in
+  List.iter (check_constr new_dims) result.constrs;
+  result
+
+(* Eliminate equalities on [d] first when one has coefficient +-1: exact
+   integer substitution.  Otherwise fall back to pairwise FM combination. *)
+let project_out d s =
+  if not (List.mem d s.dims) then s
+  else
+    let remaining_dims = List.filter (fun x -> x <> d) s.dims in
+    let unit_eq =
+      List.find_opt
+        (fun c ->
+          Constr.is_eq c && abs (Linexpr.coeff (Constr.expr c) d) = 1)
+        s.constrs
+    in
+    match unit_eq with
+    | Some c ->
+        (* c*d + rest = 0 with c = +-1, so d = -rest/c *)
+        let e = Constr.expr c in
+        let cd = Linexpr.coeff e d in
+        let rest = Linexpr.sub e (Linexpr.term cd d) in
+        let repl = Linexpr.scale (-cd) rest in
+        let constrs =
+          List.filter_map
+            (fun c' ->
+              if c' == c then None
+              else
+                let c'' = Constr.subst d repl c' in
+                if Constr.is_tautology c'' then None else Some c'')
+            s.constrs
+        in
+        { dims = remaining_dims; constrs }
+    | None ->
+        (* Split into lower bounds (c*d >= e, c>0), upper bounds (c*d <= e,
+           c>0), and independent constraints; equalities contribute both. *)
+        let lowers = ref [] and uppers = ref [] and rest = ref [] in
+        List.iter
+          (fun c ->
+            let e = Constr.expr c in
+            let cd = Linexpr.coeff e d in
+            if cd = 0 then rest := c :: !rest
+            else
+              let others = Linexpr.sub e (Linexpr.term cd d) in
+              match c with
+              | Constr.Ge _ ->
+                  if cd > 0 then
+                    (* cd*d + others >= 0: cd*d >= -others *)
+                    lowers := (cd, Linexpr.neg others) :: !lowers
+                  else uppers := (-cd, others) :: !uppers
+              | Constr.Eq _ ->
+                  if cd > 0 then begin
+                    lowers := (cd, Linexpr.neg others) :: !lowers;
+                    uppers := (cd, Linexpr.neg others) :: !uppers
+                  end
+                  else begin
+                    lowers := (-cd, others) :: !lowers;
+                    uppers := (-cd, others) :: !uppers
+                  end)
+          s.constrs;
+        let combined =
+          List.concat_map
+            (fun (cl, el) ->
+              List.filter_map
+                (fun (cu, eu) ->
+                  (* cl*d >= el and cu*d <= eu imply cl*eu - cu*el >= 0 *)
+                  let e = Linexpr.sub (Linexpr.scale cl eu) (Linexpr.scale cu el) in
+                  match Constr.normalize (Constr.Ge e) with
+                  | Some c when not (Constr.is_tautology c) -> Some c
+                  | Some _ -> None
+                  | None -> Some (Constr.Ge (Linexpr.const (-1))))
+                !uppers)
+            !lowers
+        in
+        { dims = remaining_dims; constrs = combined @ !rest }
+
+let project_onto keep s =
+  let to_drop = List.filter (fun d -> not (List.mem d keep)) s.dims in
+  List.fold_left (fun s d -> project_out d s) s to_drop
+
+let mem env s = List.for_all (Constr.sat env) s.constrs
+
+let simplify s =
+  let constrs =
+    List.filter_map
+      (fun c ->
+        match Constr.normalize c with
+        | None -> Some (Constr.Ge (Linexpr.const (-1)))
+        | Some c when Constr.is_tautology c -> None
+        | Some c -> Some c)
+      s.constrs
+  in
+  let constrs = List.sort_uniq Constr.compare constrs in
+  { s with constrs }
+
+let is_obviously_empty s =
+  List.exists Constr.is_contradiction (simplify s).constrs
+
+let bounds_of d s =
+  let lowers = ref [] and uppers = ref [] and rest = ref [] in
+  List.iter
+    (fun c ->
+      let e = Constr.expr c in
+      let cd = Linexpr.coeff e d in
+      if cd = 0 then rest := c :: !rest
+      else
+        let others = Linexpr.sub e (Linexpr.term cd d) in
+        match c with
+        | Constr.Ge _ ->
+            if cd > 0 then lowers := (cd, Linexpr.neg others) :: !lowers
+            else uppers := (-cd, others) :: !uppers
+        | Constr.Eq _ ->
+            let bound =
+              if cd > 0 then (cd, Linexpr.neg others) else (-cd, others)
+            in
+            lowers := bound :: !lowers;
+            uppers := bound :: !uppers)
+    s.constrs;
+  (List.rev !lowers, List.rev !uppers, List.rev !rest)
+
+(* ceil/floor of integer division *)
+let cdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
+
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let const_range d s =
+  let projected = project_onto [ d ] s in
+  let lowers, uppers, _ = bounds_of d projected in
+  let lb =
+    List.fold_left
+      (fun acc (c, e) ->
+        if Linexpr.is_const e then
+          let v = cdiv (Linexpr.const_of e) c in
+          match acc with None -> Some v | Some a -> Some (max a v)
+        else acc)
+      None lowers
+  in
+  let ub =
+    List.fold_left
+      (fun acc (c, e) ->
+        if Linexpr.is_const e then
+          let v = fdiv (Linexpr.const_of e) c in
+          match acc with None -> Some v | Some a -> Some (min a v)
+        else acc)
+      None uppers
+  in
+  (lb, ub)
+
+let equal a b =
+  a.dims = b.dims
+  && List.sort Constr.compare a.constrs = List.sort Constr.compare b.constrs
+
+let pp ppf s =
+  Format.fprintf ppf "{ [%s] : %a }"
+    (String.concat ", " s.dims)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " and ")
+       Constr.pp)
+    s.constrs
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,88 @@
+type t = Eq of Linexpr.t | Ge of Linexpr.t
+
+let expr = function Eq e | Ge e -> e
+
+let is_eq = function Eq _ -> true | Ge _ -> false
+
+let eq a b = Eq (Linexpr.sub a b)
+
+let ge a b = Ge (Linexpr.sub a b)
+
+let le a b = Ge (Linexpr.sub b a)
+
+let lt a b = Ge (Linexpr.sub (Linexpr.sub b a) (Linexpr.const 1))
+
+let gt a b = lt b a
+
+let dims c = Linexpr.dims (expr c)
+
+let map f = function Eq e -> Eq (f e) | Ge e -> Ge (f e)
+
+let subst d e' = map (Linexpr.subst d e')
+
+let subst_all bindings = map (Linexpr.subst_all bindings)
+
+let rename_dim o n = map (Linexpr.rename_dim o n)
+
+let sat env = function
+  | Eq e -> Linexpr.eval env e = 0
+  | Ge e -> Linexpr.eval env e >= 0
+
+(* floor division with sign-correct rounding toward negative infinity *)
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let normalize c =
+  let e = expr c in
+  let g = Linexpr.content e in
+  if g = 0 then
+    (* constant constraint *)
+    match c with
+    | Eq _ when Linexpr.const_of e = 0 -> Some c
+    | Eq _ -> None
+    | Ge _ when Linexpr.const_of e >= 0 -> Some c
+    | Ge _ -> None
+  else if g = 1 then Some c
+  else
+    match c with
+    | Eq _ ->
+        if Linexpr.const_of e mod g <> 0 then None
+        else Some (Eq (Linexpr.div_exact g e))
+    | Ge _ ->
+        (* sum c_i d_i + k >= 0  <=>  sum (c_i/g) d_i >= ceil(-k/g)
+           <=> sum (c_i/g) d_i + floor(k/g) >= 0 *)
+        let k = Linexpr.const_of e in
+        let scaled = Linexpr.sub e (Linexpr.const k) in
+        let scaled = Linexpr.div_exact g scaled in
+        Some (Ge (Linexpr.add scaled (Linexpr.const (fdiv k g))))
+
+let is_tautology c =
+  let e = expr c in
+  Linexpr.is_const e
+  &&
+  match c with
+  | Eq _ -> Linexpr.const_of e = 0
+  | Ge _ -> Linexpr.const_of e >= 0
+
+let is_contradiction c =
+  let e = expr c in
+  Linexpr.is_const e
+  &&
+  match c with
+  | Eq _ -> Linexpr.const_of e <> 0
+  | Ge _ -> Linexpr.const_of e < 0
+
+let compare a b =
+  match (a, b) with
+  | Eq _, Ge _ -> -1
+  | Ge _, Eq _ -> 1
+  | Eq x, Eq y | Ge x, Ge y -> Linexpr.compare x y
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Eq e -> Format.fprintf ppf "%a = 0" Linexpr.pp e
+  | Ge e -> Format.fprintf ppf "%a >= 0" Linexpr.pp e
+
+let to_string c = Format.asprintf "%a" pp c

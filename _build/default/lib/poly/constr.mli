@@ -1,0 +1,56 @@
+(** Affine constraints: equalities [e = 0] and inequalities [e >= 0]. *)
+
+type t =
+  | Eq of Linexpr.t  (** [e = 0] *)
+  | Ge of Linexpr.t  (** [e >= 0] *)
+
+val expr : t -> Linexpr.t
+
+val is_eq : t -> bool
+
+(** Smart constructors from comparisons between two expressions. *)
+
+val eq : Linexpr.t -> Linexpr.t -> t
+
+(** [ge a b] is the constraint [a >= b]. *)
+val ge : Linexpr.t -> Linexpr.t -> t
+
+(** [le a b] is the constraint [a <= b]. *)
+val le : Linexpr.t -> Linexpr.t -> t
+
+(** [lt a b] is the integer-strict constraint [a <= b - 1]. *)
+val lt : Linexpr.t -> Linexpr.t -> t
+
+val gt : Linexpr.t -> Linexpr.t -> t
+
+(** Dimensions mentioned with non-zero coefficient. *)
+val dims : t -> string list
+
+val subst : string -> Linexpr.t -> t -> t
+
+val subst_all : (string * Linexpr.t) list -> t -> t
+
+val rename_dim : string -> string -> t -> t
+
+(** [sat env c] checks the constraint under a total assignment. *)
+val sat : (string -> int) -> t -> bool
+
+(** Divide out the GCD of coefficients.  For inequalities the constant is
+    tightened with a floor division (sound and exact over the integers); an
+    equality whose constant is not divisible by the coefficient GCD is
+    unsatisfiable and reported as [None]. *)
+val normalize : t -> t option
+
+(** Trivially true ([0 = 0] or [k >= 0] with [k >= 0])? *)
+val is_tautology : t -> bool
+
+(** Trivially false (constant expression violating the relation)? *)
+val is_contradiction : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

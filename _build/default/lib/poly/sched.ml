@@ -1,0 +1,98 @@
+type item = Const of int | Dim of string
+
+type t = item list
+
+let rec well_formed = function
+  | [ Const _ ] -> true
+  | Const _ :: Dim _ :: rest -> well_formed rest
+  | _ -> false
+
+let of_items items =
+  if not (well_formed items) then
+    invalid_arg "Sched.of_items: not an alternating (2d+1) sequence";
+  items
+
+let initial dims =
+  of_items
+    (Const 0 :: List.concat_map (fun d -> [ Dim d; Const 0 ]) dims)
+
+let items t = t
+
+let depth t =
+  List.length (List.filter (function Dim _ -> true | Const _ -> false) t)
+
+let dims t =
+  List.filter_map (function Dim d -> Some d | Const _ -> None) t
+
+let dim_at t k =
+  match List.nth_opt (dims t) (k - 1) with
+  | Some d -> d
+  | None -> invalid_arg "Sched.dim_at: level out of range"
+
+let level_of t d =
+  let rec go k = function
+    | [] -> None
+    | d' :: rest -> if d' = d then Some k else go (k + 1) rest
+  in
+  go 1 (dims t)
+
+let const_at t k =
+  let consts = List.filter_map (function Const c -> Some c | Dim _ -> None) t in
+  match List.nth_opt consts k with
+  | Some c -> c
+  | None -> invalid_arg "Sched.const_at: position out of range"
+
+let set_const t k v =
+  let idx = ref (-1) in
+  List.map
+    (function
+      | Const c ->
+          incr idx;
+          if !idx = k then Const v else Const c
+      | Dim d -> Dim d)
+    t
+
+let swap_levels t k1 k2 =
+  let d1 = dim_at t k1 and d2 = dim_at t k2 in
+  List.map
+    (function
+      | Dim d when d = d1 -> Dim d2
+      | Dim d when d = d2 -> Dim d1
+      | item -> item)
+    t
+
+let replace_dim t d items' =
+  let rec go = function
+    | [] -> invalid_arg ("Sched.replace_dim: no dimension " ^ d)
+    | Dim d' :: rest when d' = d -> items' @ rest
+    | item :: rest -> item :: go rest
+  in
+  of_items (go t)
+
+let rename_dim t old_name new_name =
+  List.map
+    (function Dim d when d = old_name -> Dim new_name | item -> item)
+    t
+
+let lex_compare a b =
+  let rec go a b =
+    match (a, b) with
+    | Const x :: a', Const y :: b' ->
+        if x <> y then Int.compare x y else go a' b'
+    | Dim _ :: a', Dim _ :: b' -> go a' b'
+    | [], [] -> 0
+    | _ ->
+        (* structures diverge: order by remaining leading constants *)
+        let lead = function Const c :: _ -> c | _ -> 0 in
+        Int.compare (lead a) (lead b)
+  in
+  go a b
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ", "
+       (List.map
+          (function Const c -> string_of_int c | Dim d -> d)
+          t))
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,51 @@
+(** Statement schedules in the classic (2d+1) form: an alternation
+    [c0, i1, c1, i2, ..., id, cd] of scalar constants and loop dimensions.
+    The constants order statements relative to one another (the
+    lexicographic order theory of Section V-B); the dimension items name the
+    statement's domain dimensions in loop-nest order. *)
+
+type item = Const of int | Dim of string
+
+type t
+
+(** [initial dims] is [0, d1, 0, d2, ..., dn, 0]. *)
+val initial : string list -> t
+
+val items : t -> item list
+
+val of_items : item list -> t
+
+(** Number of loop levels (d). *)
+val depth : t -> int
+
+(** Dimension name at a loop level (1-based). *)
+val dim_at : t -> int -> string
+
+(** 1-based loop level of a dimension name. *)
+val level_of : t -> string -> int option
+
+val dims : t -> string list
+
+(** Scalar constant after level [k] ([k = 0] is the leading constant). *)
+val const_at : t -> int -> int
+
+val set_const : t -> int -> int -> t
+
+(** Swap the dimensions at two loop levels (loop interchange). *)
+val swap_levels : t -> int -> int -> t
+
+(** [replace_dim sched d items'] splices [items'] in place of the [Dim d]
+    item (used by strip-mining, which turns one level into two separated by
+    a zero constant). *)
+val replace_dim : t -> string -> item list -> t
+
+val rename_dim : t -> string -> string -> t
+
+(** [lex_compare a b] compares the scalar prefixes to order two statements;
+    comparison is by the shared constant prefix (positions where both have
+    constants before any diverging dimension structure). *)
+val lex_compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/polyir/legality.ml: Basic_set Compute Constr Dep Dep2 Feasible Format Linexpr List Pom_dsl Pom_poly Prog Sched Stmt_poly

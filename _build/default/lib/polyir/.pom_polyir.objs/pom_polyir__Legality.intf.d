@@ -1,0 +1,1 @@
+lib/polyir/legality.mli: Format Prog

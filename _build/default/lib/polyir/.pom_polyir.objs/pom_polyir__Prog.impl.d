@@ -1,0 +1,1 @@
+lib/polyir/prog.ml: Ast_build Format Func List Placeholder Pom_dsl Pom_poly Printf Schedule Stmt_poly Transform

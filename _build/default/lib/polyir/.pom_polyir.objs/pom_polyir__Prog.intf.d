@@ -1,0 +1,1 @@
+lib/polyir/prog.mli: Format Func Placeholder Pom_dsl Pom_poly Schedule Stmt_poly

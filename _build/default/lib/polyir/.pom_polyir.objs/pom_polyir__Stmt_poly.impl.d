@@ -1,0 +1,1 @@
+lib/polyir/stmt_poly.ml: Basic_set Compute Format Linexpr List Pom_dsl Pom_poly Printf Sched String

@@ -1,0 +1,1 @@
+lib/polyir/stmt_poly.mli: Compute Format Pom_dsl Pom_poly

@@ -1,0 +1,1 @@
+lib/polyir/transform.ml: Basic_set Compute Constr Feasible Format Linexpr List Option Pom_dsl Pom_poly Sched Schedule Stmt_poly

@@ -1,0 +1,1 @@
+lib/polyir/transform.mli: Pom_dsl Stmt_poly

@@ -1,0 +1,39 @@
+open Pom_poly
+open Pom_dsl
+
+type hw = {
+  pipeline : (string * int) option;
+  unrolls : (string * int) list;
+}
+
+let no_hw = { pipeline = None; unrolls = [] }
+
+type t = {
+  compute : Compute.t;
+  domain : Basic_set.t;
+  index_map : (string * Linexpr.t) list;
+  sched : Sched.t;
+  hw : hw;
+}
+
+let of_compute ~position compute =
+  let dims = Compute.iter_names compute in
+  {
+    compute;
+    domain = Compute.domain compute;
+    index_map = List.map (fun d -> (d, Linexpr.var d)) dims;
+    sched = Sched.set_const (Sched.initial dims) 0 position;
+    hw = no_hw;
+  }
+
+let loop_order t = Sched.dims t.sched
+
+let name t = t.compute.Compute.name
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s:@,domain %a@,sched %a@,index map: %s@]"
+    (name t) Basic_set.pp t.domain Sched.pp t.sched
+    (String.concat ", "
+       (List.map
+          (fun (d, e) -> Printf.sprintf "%s := %s" d (Linexpr.to_string e))
+          t.index_map))

@@ -1,0 +1,37 @@
+(** The polyhedral IR (Section V-B): each compute carried as an iteration
+    domain (integer set), a (2d+1) schedule, an index map tracking how the
+    original iterators read the current (possibly re-indexed) dimensions,
+    and the hardware-optimization attributes accumulated for the next IR
+    level. *)
+
+open Pom_dsl
+
+(** Hardware optimization attributes attached to schedule dimensions. *)
+type hw = {
+  pipeline : (string * int) option;  (** (dimension, target II) *)
+  unrolls : (string * int) list;  (** dimension -> unroll factor *)
+}
+
+val no_hw : hw
+
+type t = {
+  compute : Compute.t;
+  domain : Pom_poly.Basic_set.t;  (** over the current dimensions *)
+  index_map : (string * Pom_poly.Linexpr.t) list;
+      (** original iterator -> expression over current dimensions *)
+  sched : Pom_poly.Sched.t;  (** over the current dimensions *)
+  hw : hw;
+}
+
+(** Initial polyhedral statement for a compute, sequenced at program
+    position [position] (leading scalar constant). *)
+val of_compute : position:int -> Compute.t -> t
+
+(** Current dimension names in schedule (loop-nest) order. *)
+val loop_order : t -> string list
+
+(** The original-iterator loop order (loop_order mapped back through the
+    index map when the dims are still 1-1 renames); used for reporting. *)
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Compute Expr Float Func Hashtbl Ir List Lower Memory Placeholder Pom_affine Pom_dsl Pom_poly Pom_polyir Schedule Var

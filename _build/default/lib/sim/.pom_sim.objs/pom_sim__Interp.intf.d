@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Memory Pom_affine Pom_dsl Pom_polyir

@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Array Char Float Hashtbl List Placeholder Pom_dsl Printf String

@@ -1,0 +1,1 @@
+lib/workloads/dnn.ml: Compute Dtype Expr Func List Placeholder Pom_dsl Printf Var

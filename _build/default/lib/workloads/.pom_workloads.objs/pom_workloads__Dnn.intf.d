@@ -1,0 +1,1 @@
+lib/workloads/dnn.mli: Func Placeholder Pom_dsl

@@ -1,0 +1,1 @@
+lib/workloads/image.ml: Dtype Expr Func Placeholder Pom_dsl Var

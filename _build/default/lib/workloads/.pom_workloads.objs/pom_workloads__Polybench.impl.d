@@ -1,0 +1,1 @@
+lib/workloads/polybench.ml: Dtype Expr Func Placeholder Pom_dsl Schedule Var

@@ -1,0 +1,144 @@
+open Pom_dsl
+open Expr
+
+let f32 = Dtype.p_float32
+
+type conv_spec = {
+  label : string;
+  in_channels : int;
+  out_channels : int;
+  spatial : int;
+  kernel : int;
+}
+
+(* Feature maps carry a one-pixel halo so 3x3 convolutions keep the
+   spatial size ("same" padding). *)
+let feature_map name channels spatial =
+  Placeholder.make name [ channels; spatial + 2; spatial + 2 ] f32
+
+let conv_layer ?(stride = 1) func ~(input : Placeholder.t) spec =
+  let out_spatial = spec.spatial / stride in
+  let weights =
+    Placeholder.make (spec.label ^ "_w")
+      [ spec.out_channels; spec.in_channels; spec.kernel; spec.kernel ]
+      f32
+  in
+  let out = feature_map (spec.label ^ "_out") spec.out_channels out_spatial in
+  let oc = Var.make "oc" 0 spec.out_channels in
+  let oh = Var.make "oh" 0 out_spatial and ow = Var.make "ow" 0 out_spatial in
+  let ic = Var.make "ic" 0 spec.in_channels in
+  let kh = Var.make "kh" 0 spec.kernel and kw = Var.make "kw" 0 spec.kernel in
+  let in_h = (stride *! ix oh) +! ix kh in
+  let in_w = (stride *! ix ow) +! ix kw in
+  let _ =
+    Func.compute func spec.label
+      ~iters:[ oc; oh; ow; ic; kh; kw ]
+      ~body:
+        (access out [ ix oc; ix oh +! ixc 1; ix ow +! ixc 1 ]
+        +: (access weights [ ix oc; ix ic; ix kh; ix kw ]
+           *: access input [ ix ic; in_h; in_w ]))
+      ~dest:(out, [ ix oc; ix oh +! ixc 1; ix ow +! ixc 1 ]) ()
+  in
+  out
+
+let maxpool func ~label ~(input : Placeholder.t) ~channels ~spatial =
+  let out_spatial = spatial / 2 in
+  let out = feature_map (label ^ "_out") channels out_spatial in
+  let c = Var.make "c" 0 channels in
+  let i = Var.make "i" 0 out_spatial and j = Var.make "j" 0 out_spatial in
+  let at di dj =
+    access input [ ix c; (2 *! ix i) +! ixc (1 + di); (2 *! ix j) +! ixc (1 + dj) ]
+  in
+  let _ =
+    Func.compute func label ~iters:[ c; i; j ]
+      ~body:(max_ (max_ (at 0 0) (at 0 1)) (max_ (at 1 0) (at 1 1)))
+      ~dest:(out, [ ix c; ix i +! ixc 1; ix j +! ixc 1 ]) ()
+  in
+  out
+
+let residual_add func ~label ~(a : Placeholder.t) ~(b : Placeholder.t) ~channels
+    ~spatial =
+  let out = feature_map (label ^ "_out") channels spatial in
+  let c = Var.make "c" 0 channels in
+  let i = Var.make "i" 0 spatial and j = Var.make "j" 0 spatial in
+  let at (p : Placeholder.t) =
+    access p [ ix c; ix i +! ixc 1; ix j +! ixc 1 ]
+  in
+  let _ =
+    Func.compute func label ~iters:[ c; i; j ]
+      ~body:(at a +: at b)
+      ~dest:(out, [ ix c; ix i +! ixc 1; ix j +! ixc 1 ]) ()
+  in
+  out
+
+(* VGG-16: thirteen 3x3 convolutions in five blocks with max-pooling
+   between blocks; spatial resolution scaled to 32. *)
+let vgg16 () =
+  let f = Func.create "vgg16" in
+  let input = feature_map "img" 3 32 in
+  let conv n i o s x =
+    conv_layer f ~input:x
+      { label = Printf.sprintf "conv%d" n; in_channels = i; out_channels = o;
+        spatial = s; kernel = 3 }
+  in
+  let pool n c s x = maxpool f ~label:(Printf.sprintf "pool%d" n) ~input:x ~channels:c ~spatial:s in
+  let x = conv 1 3 64 32 input in
+  let x = conv 2 64 64 32 x in
+  let x = pool 1 64 32 x in
+  let x = conv 3 64 128 16 x in
+  let x = conv 4 128 128 16 x in
+  let x = pool 2 128 16 x in
+  let x = conv 5 128 256 8 x in
+  let x = conv 6 256 256 8 x in
+  let x = conv 7 256 256 8 x in
+  let x = pool 3 256 8 x in
+  let x = conv 8 256 512 4 x in
+  let x = conv 9 512 512 4 x in
+  let x = conv 10 512 512 4 x in
+  let x = pool 4 512 4 x in
+  let x = conv 11 512 512 2 x in
+  let x = conv 12 512 512 2 x in
+  let x = conv 13 512 512 2 x in
+  ignore (pool 5 512 2 x);
+  f
+
+(* ResNet-18: initial convolution, four stages of two basic blocks (two
+   3x3 convolutions plus a residual add each), with a strided 1x1
+   projection at each stage boundary; spatial resolution scaled to 32. *)
+let resnet18 () =
+  let f = Func.create "resnet18" in
+  let input = feature_map "img" 3 32 in
+  let counter = ref 0 in
+  let conv ?(stride = 1) ?(kernel = 3) i o s x =
+    incr counter;
+    conv_layer f ~stride ~input:x
+      { label = Printf.sprintf "conv%d" !counter; in_channels = i;
+        out_channels = o; spatial = s; kernel }
+  in
+  let block ~stage ~idx channels spatial x =
+    let y = conv channels channels spatial x in
+    let y = conv channels channels spatial y in
+    residual_add f ~label:(Printf.sprintf "res%d_%d" stage idx) ~a:x ~b:y
+      ~channels ~spatial
+  in
+  let x = conv 3 64 32 input in
+  let x = block ~stage:1 ~idx:1 64 32 x in
+  let x = block ~stage:1 ~idx:2 64 32 x in
+  let stage n cin cout spatial x =
+    (* strided 1x1 projection, then two basic blocks at the new size *)
+    let proj = conv ~stride:2 ~kernel:1 cin cout spatial x in
+    let x = block ~stage:n ~idx:1 cout (spatial / 2) proj in
+    block ~stage:n ~idx:2 cout (spatial / 2) x
+  in
+  let x = stage 2 64 128 32 x in
+  let x = stage 3 128 256 16 x in
+  ignore (stage 4 256 512 8 x);
+  f
+
+let critical_loops func =
+  List.length
+    (List.filter
+       (fun (c : Compute.t) -> List.length c.Compute.iters >= 5)
+       (Func.computes func))
+
+let by_name = [ ("vgg16", vgg16); ("resnet18", resnet18) ]

@@ -1,0 +1,33 @@
+(** DNN workloads of Table V / Fig. 13: VGG-16 and ResNet-18 expressed as
+    chains of convolution loop nests (the "critical loops" — nests deeper
+    than four levels), max-pooling, and residual-addition computes.
+
+    The layer-shape tables follow the published architectures with the
+    spatial resolution scaled to fit an embedded-class accelerator, which
+    preserves the property the experiment measures: many deep loop nests
+    competing for one device's resources. *)
+
+open Pom_dsl
+
+type conv_spec = {
+  label : string;
+  in_channels : int;
+  out_channels : int;
+  spatial : int;  (** input height = width *)
+  kernel : int;
+}
+
+(** One convolution compute appended to a function; returns the output
+    placeholder.  [stride] downsamples spatially (projection shortcuts). *)
+val conv_layer :
+  ?stride:int -> Func.t -> input:Placeholder.t -> conv_spec -> Placeholder.t
+
+val vgg16 : unit -> Func.t
+
+val resnet18 : unit -> Func.t
+
+(** Number of critical loops (nests deeper than four levels) in a
+    function. *)
+val critical_loops : Func.t -> int
+
+val by_name : (string * (unit -> Func.t)) list

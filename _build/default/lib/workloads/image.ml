@@ -1,0 +1,97 @@
+open Pom_dsl
+open Expr
+
+let f32 = Dtype.p_float32
+
+let edge_detect ?(channels = 3) n =
+  let f = Func.create "edge_detect" in
+  let mk () =
+    ( Var.make "c" 0 channels,
+      Var.make "y" 1 (n - 1),
+      Var.make "x" 1 (n - 1) )
+  in
+  let img = Placeholder.make "I" [ channels; n; n ] f32 in
+  let gx = Placeholder.make "Gx" [ channels; n; n ] f32 in
+  let gy = Placeholder.make "Gy" [ channels; n; n ] f32 in
+  let out = Placeholder.make "Out" [ channels; n; n ] f32 in
+  let c, y, x = mk () in
+  let _ =
+    Func.compute f "s_gx" ~iters:[ c; y; x ]
+      ~body:
+        (access img [ ix c; ix y; ix x +! ixc 1 ]
+        -: access img [ ix c; ix y; ix x -! ixc 1 ])
+      ~dest:(gx, [ ix c; ix y; ix x ]) ()
+  in
+  let c, y, x = mk () in
+  let _ =
+    Func.compute f "s_gy" ~iters:[ c; y; x ]
+      ~body:
+        (access img [ ix c; ix y +! ixc 1; ix x ]
+        -: access img [ ix c; ix y -! ixc 1; ix x ])
+      ~dest:(gy, [ ix c; ix y; ix x ]) ()
+  in
+  let c, y, x = mk () in
+  let _ =
+    Func.compute f "s_mag" ~iters:[ c; y; x ]
+      ~body:
+        (max_ (access gx [ ix c; ix y; ix x ]) (neg (access gx [ ix c; ix y; ix x ]))
+        +: max_ (access gy [ ix c; ix y; ix x ]) (neg (access gy [ ix c; ix y; ix x ])))
+      ~dest:(out, [ ix c; ix y; ix x ]) ()
+  in
+  f
+
+let gaussian ?(channels = 3) n =
+  let f = Func.create "gaussian" in
+  let c = Var.make "c" 0 channels in
+  let y = Var.make "y" 1 (n - 1) and x = Var.make "x" 1 (n - 1) in
+  let img = Placeholder.make "I" [ channels; n; n ] f32 in
+  let out = Placeholder.make "Out" [ channels; n; n ] f32 in
+  let at w dy dx =
+    fconst w *: access img [ ix c; ix y +! ixc dy; ix x +! ixc dx ]
+  in
+  let body =
+    at 0.0625 (-1) (-1) +: at 0.125 (-1) 0 +: at 0.0625 (-1) 1
+    +: at 0.125 0 (-1) +: at 0.25 0 0 +: at 0.125 0 1
+    +: at 0.0625 1 (-1) +: at 0.125 1 0 +: at 0.0625 1 1
+  in
+  let _ =
+    Func.compute f "s_gauss" ~iters:[ c; y; x ] ~body
+      ~dest:(out, [ ix c; ix y; ix x ]) ()
+  in
+  f
+
+let blur ?(channels = 3) n =
+  let f = Func.create "blur" in
+  let img = Placeholder.make "I" [ channels; n; n ] f32 in
+  let bx = Placeholder.make "Bx" [ channels; n; n ] f32 in
+  let out = Placeholder.make "Out" [ channels; n; n ] f32 in
+  let c = Var.make "c" 0 channels in
+  let y = Var.make "y" 0 n and x = Var.make "x" 0 (n - 2) in
+  let _ =
+    Func.compute f "s_bx" ~iters:[ c; y; x ]
+      ~body:
+        (fconst 0.33333
+        *: (access img [ ix c; ix y; ix x ]
+           +: access img [ ix c; ix y; ix x +! ixc 1 ]
+           +: access img [ ix c; ix y; ix x +! ixc 2 ]))
+      ~dest:(bx, [ ix c; ix y; ix x ]) ()
+  in
+  let c = Var.make "c" 0 channels in
+  let y = Var.make "y" 0 (n - 2) and x = Var.make "x" 0 (n - 2) in
+  let _ =
+    Func.compute f "s_by" ~iters:[ c; y; x ]
+      ~body:
+        (fconst 0.33333
+        *: (access bx [ ix c; ix y; ix x ]
+           +: access bx [ ix c; ix y +! ixc 1; ix x ]
+           +: access bx [ ix c; ix y +! ixc 2; ix x ]))
+      ~dest:(out, [ ix c; ix y; ix x ]) ()
+  in
+  f
+
+let by_name =
+  [
+    ("edge-detect", fun n -> edge_detect n);
+    ("gaussian", fun n -> gaussian n);
+    ("blur", fun n -> blur n);
+  ]

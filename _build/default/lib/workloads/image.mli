@@ -1,0 +1,15 @@
+(** The image-processing applications of Table V / Table VI: EdgeDetect,
+    Gaussian, and Blur, over [channels x n x n] images. *)
+
+open Pom_dsl
+
+(** Horizontal+vertical gradient and magnitude (three chained computes). *)
+val edge_detect : ?channels:int -> int -> Func.t
+
+(** 3x3 Gaussian convolution with fixed weights (single compute). *)
+val gaussian : ?channels:int -> int -> Func.t
+
+(** Separable two-stage box blur (two chained computes). *)
+val blur : ?channels:int -> int -> Func.t
+
+val by_name : (string * (int -> Func.t)) list

@@ -1,0 +1,1 @@
+test/test_affine_map.ml: Affine_map Alcotest Basic_set Constr Linexpr Pom_poly QCheck QCheck_alcotest

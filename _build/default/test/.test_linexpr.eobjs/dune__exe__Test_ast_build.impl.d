@@ -1,0 +1,1 @@
+test/test_ast_build.ml: Alcotest Ast Ast_build Basic_set Constr Feasible Fun Hashtbl Linexpr List Pom_poly QCheck QCheck_alcotest Sched

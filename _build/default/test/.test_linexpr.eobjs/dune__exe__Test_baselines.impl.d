@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Manual Pluto Polsca Polybench Pom_baselines Pom_dse Pom_dsl Pom_hls Pom_sim Pom_workloads Scalehls

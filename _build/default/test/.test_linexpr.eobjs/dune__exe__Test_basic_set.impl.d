@@ -1,0 +1,1 @@
+test/test_basic_set.ml: Alcotest Basic_set Constr Feasible Linexpr List Pom_poly QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cemit.ml: Alcotest Filename Float Func Image List Polybench Pom_affine Pom_dse Pom_dsl Pom_emit Pom_polyir Pom_sim Pom_workloads Printf Schedule String Sys Unix

@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Compute Dtype Filename Func Lexer List Parse Placeholder Pom Pom_cfront Pom_dsl Pom_sim Pom_workloads Schedule Sys Var

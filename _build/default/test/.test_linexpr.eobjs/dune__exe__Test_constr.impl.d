@@ -1,0 +1,1 @@
+test/test_constr.ml: Alcotest Constr Linexpr Pom_poly QCheck QCheck_alcotest

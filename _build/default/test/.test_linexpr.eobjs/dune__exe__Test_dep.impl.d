@@ -1,0 +1,1 @@
+test/test_dep.ml: Alcotest Basic_set Constr Dep Format Linexpr List Pom_poly QCheck QCheck_alcotest

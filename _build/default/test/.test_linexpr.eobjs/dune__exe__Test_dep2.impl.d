@@ -1,0 +1,1 @@
+test/test_dep2.ml: Alcotest Basic_set Constr Dep Dep2 Linexpr List Pom_poly Sched

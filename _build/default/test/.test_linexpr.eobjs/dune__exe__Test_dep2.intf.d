@@ -1,0 +1,1 @@
+test/test_dep2.mli:

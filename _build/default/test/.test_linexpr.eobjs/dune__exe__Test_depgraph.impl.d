@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Dtype Expr Finegrain Func Graph Hints List Placeholder Pom_depgraph Pom_dsl Pom_workloads Var

@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Engine Func Image List Polybench Pom_dse Pom_dsl Pom_hls Pom_polyir Pom_sim Pom_workloads Schedule Stage1 Stage2 String

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Compute Dtype Expr Func Linexpr List Placeholder Pom_dsl Pom_poly Schedule Var

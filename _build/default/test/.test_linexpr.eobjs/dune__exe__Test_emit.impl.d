@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Dtype Expr Func List Placeholder Pom_affine Pom_dsl Pom_emit Pom_polyir Pom_workloads Prog Schedule String Var

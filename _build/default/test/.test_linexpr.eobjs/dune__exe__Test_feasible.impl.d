@@ -1,0 +1,1 @@
+test/test_feasible.ml: Alcotest Basic_set Constr Feasible Linexpr List Pom_poly QCheck QCheck_alcotest

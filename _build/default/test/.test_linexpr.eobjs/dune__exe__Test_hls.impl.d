@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Device Dtype Expr Func List Opchar Placeholder Pom_dse Pom_dsl Pom_hls Pom_polyir Pom_workloads Prog QCheck QCheck_alcotest Report Resource Schedule Summary Var

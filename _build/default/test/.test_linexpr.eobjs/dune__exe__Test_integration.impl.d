@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dnn Image List Polybench Pom Pom_hls Pom_workloads Printf String

@@ -1,0 +1,1 @@
+test/test_iset.ml: Alcotest Basic_set Constr Iset Linexpr List Pom_poly

@@ -1,0 +1,1 @@
+test/test_legality.ml: Alcotest Func Image Legality List Polybench Pom_dse Pom_dsl Pom_polyir Pom_sim Pom_workloads Prog QCheck QCheck_alcotest Schedule Stmt_poly

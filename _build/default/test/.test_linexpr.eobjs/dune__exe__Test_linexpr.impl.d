@@ -1,0 +1,1 @@
+test/test_linexpr.ml: Alcotest Linexpr List Pom_poly QCheck QCheck_alcotest

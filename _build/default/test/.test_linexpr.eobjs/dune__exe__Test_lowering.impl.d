@@ -1,0 +1,1 @@
+test/test_lowering.ml: Alcotest Dtype Expr Func Ir Linexpr List Lower Placeholder Pom_affine Pom_dsl Pom_poly Pom_polyir Prog Schedule Var

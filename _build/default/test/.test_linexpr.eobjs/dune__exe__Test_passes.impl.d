@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Ast Constr Dtype Expr Func Ir Linexpr List Lower Passes Placeholder Pom_affine Pom_dsl Pom_poly Pom_polyir Pom_sim Schedule Var

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Pom_poly Sched

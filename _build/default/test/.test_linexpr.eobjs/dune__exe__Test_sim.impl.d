@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dtype Expr Func Interp List Memory Placeholder Pom_dsl Pom_polyir Pom_sim Pom_workloads Printf Prog QCheck QCheck_alcotest Schedule Stmt_poly Var

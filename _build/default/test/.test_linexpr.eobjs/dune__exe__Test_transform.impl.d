@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Compute Dtype Expr Linexpr List Placeholder Pom_dsl Pom_poly Pom_polyir Printf QCheck QCheck_alcotest Sched Stmt_poly Transform Var

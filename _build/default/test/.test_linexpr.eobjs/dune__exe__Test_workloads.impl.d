@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Compute Dnn Dtype Func Image List Placeholder Polybench Pom_depgraph Pom_dsl Pom_poly Pom_sim Pom_workloads Schedule

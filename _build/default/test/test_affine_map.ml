@@ -1,0 +1,86 @@
+open Pom_poly
+
+let v = Linexpr.var
+
+let c = Linexpr.const
+
+let test_identity_apply () =
+  let m = Affine_map.identity [ "i"; "j" ] in
+  Alcotest.(check (list int)) "identity" [ 3; 4 ] (Affine_map.apply m [ 3; 4 ])
+
+let test_apply () =
+  (* (i, j) -> (2i + j, j - 1) *)
+  let m =
+    Affine_map.make ~in_dims:[ "i"; "j" ]
+      ~out_exprs:
+        [ Linexpr.add (Linexpr.term 2 "i") (v "j"); Linexpr.sub (v "j") (c 1) ]
+  in
+  Alcotest.(check (list int)) "apply" [ 10; 3 ] (Affine_map.apply m [ 3; 4 ])
+
+let test_compose () =
+  let f =
+    Affine_map.make ~in_dims:[ "i" ] ~out_exprs:[ Linexpr.add (v "i") (c 1) ]
+  in
+  let g =
+    Affine_map.make ~in_dims:[ "x" ] ~out_exprs:[ Linexpr.term 3 "x" ]
+  in
+  let gf = Affine_map.compose g f in
+  Alcotest.(check (list int)) "g after f" [ 9 ] (Affine_map.apply gf [ 2 ])
+
+let test_preimage () =
+  (* m : i -> 2i; preimage of {0 <= y <= 6} is {0 <= 2i <= 6} = {0..3} *)
+  let m = Affine_map.make ~in_dims:[ "i" ] ~out_exprs:[ Linexpr.term 2 "i" ] in
+  let target =
+    Basic_set.make [ "y" ] [ Constr.ge (v "y") (c 0); Constr.le (v "y") (c 6) ]
+  in
+  let pre = Affine_map.preimage_set m [ "y" ] target in
+  Alcotest.(check (pair (option int) (option int))) "preimage range"
+    (Some 0, Some 3)
+    (Basic_set.const_range "i" pre)
+
+let test_image () =
+  let m = Affine_map.make ~in_dims:[ "i" ] ~out_exprs:[ Linexpr.term 2 "i" ] in
+  let domain =
+    Basic_set.make [ "i" ] [ Constr.ge (v "i") (c 0); Constr.le (v "i") (c 3) ]
+  in
+  let img = Affine_map.image_set m [ "y" ] domain in
+  Alcotest.(check (pair (option int) (option int))) "image range" (Some 0, Some 6)
+    (Basic_set.const_range "y" img)
+
+let test_arity_checks () =
+  let m = Affine_map.identity [ "i" ] in
+  Alcotest.check_raises "apply arity"
+    (Invalid_argument "Affine_map.apply: arity mismatch") (fun () ->
+      ignore (Affine_map.apply m [ 1; 2 ]))
+
+let prop_preimage_correct =
+  QCheck.Test.make ~name:"x in preimage iff m(x) in target" ~count:200
+    QCheck.(pair (int_range (-3) 3) (int_range (-5) 5))
+    (fun (a, x) ->
+      QCheck.assume (a <> 0);
+      let m =
+        Affine_map.make ~in_dims:[ "i" ]
+          ~out_exprs:[ Linexpr.add (Linexpr.term a "i") (c 1) ]
+      in
+      let target =
+        Basic_set.make [ "y" ] [ Constr.ge (v "y") (c 0); Constr.le (v "y") (c 7) ]
+      in
+      let pre = Affine_map.preimage_set m [ "y" ] target in
+      let y = (a * x) + 1 in
+      Basic_set.mem (function "i" -> x | _ -> raise Not_found) pre
+      = Basic_set.mem (function "y" -> y | _ -> raise Not_found) target)
+
+let () =
+  Alcotest.run "affine_map"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "identity" `Quick test_identity_apply;
+          Alcotest.test_case "application" `Quick test_apply;
+          Alcotest.test_case "composition" `Quick test_compose;
+          Alcotest.test_case "preimage" `Quick test_preimage;
+          Alcotest.test_case "image" `Quick test_image;
+          Alcotest.test_case "arity checking" `Quick test_arity_checks;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_preimage_correct ]);
+    ]

@@ -1,0 +1,304 @@
+open Pom_poly
+
+let v = Linexpr.var
+
+let c = Linexpr.const
+
+let box dims_bounds =
+  Basic_set.make
+    (List.map (fun (d, _, _) -> d) dims_bounds)
+    (List.concat_map
+       (fun (d, lo, hi) ->
+         [ Constr.ge (v d) (c lo); Constr.le (v d) (c (hi - 1)) ])
+       dims_bounds)
+
+(* Execute an AST forest, returning the trace of (stmt, domain-dim values)
+   in execution order. *)
+let execute forest =
+  let env_tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let env d =
+    match Hashtbl.find_opt env_tbl d with Some x -> x | None -> raise Not_found
+  in
+  let trace = ref [] in
+  let rec go = function
+    | Ast.For { iter; lbs; ubs; body } ->
+        let lb = Ast.eval_lb env lbs and ub = Ast.eval_ub env ubs in
+        for x = lb to ub do
+          Hashtbl.replace env_tbl iter x;
+          List.iter go body
+        done
+    | Ast.If (guards, body) ->
+        if List.for_all (Constr.sat env) guards then List.iter go body
+    | Ast.User u ->
+        trace :=
+          (u.Ast.stmt, List.map (fun (_, iter) -> env iter) u.Ast.bindings)
+          :: !trace
+  in
+  List.iter go forest;
+  List.rev !trace
+
+let points_of_trace name trace =
+  List.filter_map (fun (s, pt) -> if s = name then Some pt else None) trace
+
+let test_single_box_in_order () =
+  let domain = box [ ("i", 0, 3); ("j", 0, 2) ] in
+  let forest =
+    Ast_build.build
+      [ { Ast_build.name = "S"; domain; sched = Sched.initial [ "i"; "j" ] } ]
+  in
+  Alcotest.(check (list (list int))) "lexicographic visit"
+    (Feasible.enumerate domain)
+    (points_of_trace "S" (execute forest))
+
+let test_interchange_changes_order () =
+  let domain = box [ ("i", 0, 2); ("j", 0, 2) ] in
+  let forest =
+    Ast_build.build
+      [ { Ast_build.name = "S"; domain; sched = Sched.initial [ "j"; "i" ] } ]
+  in
+  (* bindings are recorded in schedule order (j, i) *)
+  Alcotest.(check (list (list int))) "column-major visit"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (points_of_trace "S" (execute forest))
+
+let test_sequencing_by_consts () =
+  let domain = box [ ("i", 0, 2) ] in
+  let sched k = Sched.set_const (Sched.initial [ "i" ]) 0 k in
+  let forest =
+    Ast_build.build
+      [
+        { Ast_build.name = "B"; domain; sched = sched 1 };
+        { Ast_build.name = "A"; domain; sched = sched 0 };
+      ]
+  in
+  Alcotest.(check (list string)) "A's loop first, then B's"
+    [ "A"; "A"; "B"; "B" ]
+    (List.map fst (execute forest))
+
+let test_fusion_interleaves () =
+  let domain = box [ ("i", 0, 2) ] in
+  let s0 = Sched.initial [ "i" ] in
+  let s1 = Sched.set_const (Sched.initial [ "i" ]) 1 1 in
+  let forest =
+    Ast_build.build
+      [
+        { Ast_build.name = "A"; domain; sched = s0 };
+        { Ast_build.name = "B"; domain; sched = s1 };
+      ]
+  in
+  Alcotest.(check (list string)) "interleaved in one loop"
+    [ "A"; "B"; "A"; "B" ]
+    (List.map fst (execute forest))
+
+let test_fused_different_bounds_guarded () =
+  let d1 = box [ ("i", 0, 4) ] and d2 = box [ ("i", 2, 6) ] in
+  let s0 = Sched.initial [ "i" ] in
+  let s1 = Sched.set_const (Sched.initial [ "i" ]) 1 1 in
+  let forest =
+    Ast_build.build
+      [
+        { Ast_build.name = "A"; domain = d1; sched = s0 };
+        { Ast_build.name = "B"; domain = d2; sched = s1 };
+      ]
+  in
+  let trace = execute forest in
+  Alcotest.(check (list (list int))) "A's own points"
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+    (points_of_trace "A" trace);
+  Alcotest.(check (list (list int))) "B's own points"
+    [ [ 2 ]; [ 3 ]; [ 4 ]; [ 5 ] ]
+    (points_of_trace "B" trace)
+
+let test_strip_mined_covers_domain () =
+  (* i = 5*o + r over 0 <= i < 13 (non-divisible) *)
+  let domain =
+    Basic_set.change_space ~new_dims:[ "o"; "r" ]
+      ~bindings:[ ("i", Linexpr.add (Linexpr.term 5 "o") (v "r")) ]
+      ~extra:[ Constr.ge (v "r") (c 0); Constr.le (v "r") (c 4) ]
+      (box [ ("i", 0, 13) ])
+  in
+  let forest =
+    Ast_build.build
+      [ { Ast_build.name = "S"; domain; sched = Sched.initial [ "o"; "r" ] } ]
+  in
+  let originals =
+    List.map
+      (fun pt -> match pt with [ o; r ] -> (5 * o) + r | _ -> assert false)
+      (points_of_trace "S" (execute forest))
+  in
+  Alcotest.(check (list int)) "all 13 original iterations, in order"
+    (List.init 13 Fun.id) originals
+
+let test_skewed_covers_domain () =
+  let domain =
+    Basic_set.change_space ~new_dims:[ "i"; "js" ]
+      ~bindings:
+        [ ("i", v "i"); ("j", Linexpr.sub (v "js") (Linexpr.term 2 "i")) ]
+      (box [ ("i", 0, 4); ("j", 0, 4) ])
+  in
+  let forest =
+    Ast_build.build
+      [ { Ast_build.name = "S"; domain; sched = Sched.initial [ "js"; "i" ] } ]
+  in
+  Alcotest.(check int) "all 16 points" 16
+    (List.length (points_of_trace "S" (execute forest)))
+
+let test_depth_mismatch_rejected () =
+  let d1 = box [ ("i", 0, 2) ] in
+  let d2 = box [ ("i", 0, 2); ("j", 0, 2) ] in
+  (* identical scalar prefixes but different loop structure *)
+  Alcotest.check_raises "schedule error"
+    (Ast_build.Schedule_error
+       "statements with identical scalar prefixes have different depths")
+    (fun () ->
+      ignore
+        (Ast_build.build
+           [
+             { Ast_build.name = "A"; domain = d1; sched = Sched.initial [ "i" ] };
+             {
+               Ast_build.name = "B";
+               domain = d2;
+               sched = Sched.initial [ "i"; "j" ];
+             };
+           ]))
+
+let test_sched_domain_mismatch () =
+  let d = box [ ("i", 0, 2) ] in
+  Alcotest.check_raises "dims mismatch"
+    (Ast_build.Schedule_error
+       "statement S: schedule dims do not match domain dims") (fun () ->
+      ignore
+        (Ast_build.build
+           [ { Ast_build.name = "S"; domain = d; sched = Sched.initial [ "j" ] } ]))
+
+(* property: random 2-D box under a random dim permutation and strip-mine
+   factor still executes exactly the domain's points *)
+let prop_coverage =
+  QCheck.Test.make ~name:"codegen covers the domain exactly" ~count:100
+    QCheck.(triple (int_range 1 9) (int_range 1 9) (pair (int_range 2 4) bool))
+    (fun (w, h, (factor, swap)) ->
+      let base = box [ ("i", 0, w); ("j", 0, h) ] in
+      let domain =
+        Basic_set.change_space ~new_dims:[ "o"; "r"; "j" ]
+          ~bindings:
+            [
+              ("i", Linexpr.add (Linexpr.term factor "o") (v "r"));
+              ("j", v "j");
+            ]
+          ~extra:
+            [ Constr.ge (v "r") (c 0); Constr.le (v "r") (c (factor - 1)) ]
+          base
+      in
+      let order = if swap then [ "j"; "o"; "r" ] else [ "o"; "j"; "r" ] in
+      let forest =
+        Ast_build.build
+          [ { Ast_build.name = "S"; domain; sched = Sched.initial order } ]
+      in
+      let visited =
+        List.sort compare
+          (List.map
+             (fun pt ->
+               (* recover (i, j) from bindings in schedule order *)
+               let assoc = List.combine order pt in
+               ( (factor * List.assoc "o" assoc) + List.assoc "r" assoc,
+                 List.assoc "j" assoc ))
+             (points_of_trace "S" (execute forest)))
+      in
+      let expected =
+        List.sort compare
+          (List.map
+             (fun pt -> match pt with [ i; j ] -> (i, j) | _ -> assert false)
+             (Feasible.enumerate base))
+      in
+      visited = expected)
+
+(* property: for random two-statement programs (random box domains, scalar
+   constants, and dimension orders), the emitted trace visits every domain
+   point of each statement exactly once, in non-decreasing schedule-time
+   order *)
+let two_stmt_gen =
+  QCheck.Gen.(
+    let dims_gen = oneofl [ [ "i"; "j" ]; [ "j"; "i" ] ] in
+    let box_gen = pair (int_range 1 4) (int_range 1 4) in
+    let consts_gen = triple (int_range 0 1) (int_range 0 1) (int_range 0 1) in
+    triple (pair dims_gen box_gen) (pair dims_gen box_gen) (pair consts_gen consts_gen))
+
+let time_vector sched point =
+  (* interleave scalar constants with the bound dim values *)
+  let rec go items pt =
+    match (items, pt) with
+    | Sched.Const c :: rest, _ -> c :: go rest pt
+    | Sched.Dim _ :: rest, v :: pt -> v :: go rest pt
+    | [], [] -> []
+    | _ -> assert false
+  in
+  go (Sched.items sched) point
+
+let rec lex_leq a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> true
+  | x :: a', y :: b' -> x < y || (x = y && lex_leq a' b')
+
+let prop_trace_in_schedule_order =
+  QCheck.Test.make ~name:"trace follows lexicographic schedule time" ~count:150
+    (QCheck.make two_stmt_gen)
+    (fun ((d1, (w1, h1)), (d2, (w2, h2)), ((a0, a1, a2), (b0, b1, b2))) ->
+      let dom w h = box [ ("i", 0, w); ("j", 0, h) ] in
+      let sched order (c0, c1, c2) =
+        Sched.set_const
+          (Sched.set_const (Sched.set_const (Sched.initial order) 0 c0) 1 c1)
+          2 c2
+      in
+      let s1 = sched d1 (a0, a1, a2) and s2 = sched d2 (b0, b1, b2) in
+      try
+        let forest =
+          Ast_build.build
+            [
+              { Ast_build.name = "A"; domain = dom w1 h1; sched = s1 };
+              { Ast_build.name = "B"; domain = dom w2 h2; sched = s2 };
+            ]
+        in
+        let trace = execute forest in
+        let count_a = List.length (points_of_trace "A" trace) in
+        let count_b = List.length (points_of_trace "B" trace) in
+        let times =
+          List.map
+            (fun (stmt, pt) ->
+              time_vector (if stmt = "A" then s1 else s2) pt)
+            trace
+        in
+        let rec sorted = function
+          | x :: (y :: _ as rest) -> lex_leq x y && sorted rest
+          | _ -> true
+        in
+        count_a = w1 * h1 && count_b = w2 * h2 && sorted times
+      with Ast_build.Schedule_error _ ->
+        (* identical scalar prefixes with clashing structure are rejected,
+           which is also correct behaviour *)
+        true)
+
+let () =
+  Alcotest.run "ast_build"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single box in order" `Quick test_single_box_in_order;
+          Alcotest.test_case "interchange" `Quick test_interchange_changes_order;
+          Alcotest.test_case "sequencing by scalar constants" `Quick
+            test_sequencing_by_consts;
+          Alcotest.test_case "fusion interleaves" `Quick test_fusion_interleaves;
+          Alcotest.test_case "fused different bounds get guards" `Quick
+            test_fused_different_bounds_guarded;
+          Alcotest.test_case "strip-mined coverage (non-divisible)" `Quick
+            test_strip_mined_covers_domain;
+          Alcotest.test_case "skewed coverage" `Quick test_skewed_covers_domain;
+          Alcotest.test_case "depth mismatch rejected" `Quick
+            test_depth_mismatch_rejected;
+          Alcotest.test_case "schedule/domain dim mismatch" `Quick
+            test_sched_domain_mismatch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_coverage; prop_trace_in_schedule_order ] );
+    ]

@@ -1,0 +1,163 @@
+open Pom_poly
+
+let v = Linexpr.var
+
+let c = Linexpr.const
+
+(* the box lo <= d < hi for each (d, lo, hi) *)
+let box dims_bounds =
+  Basic_set.make
+    (List.map (fun (d, _, _) -> d) dims_bounds)
+    (List.concat_map
+       (fun (d, lo, hi) ->
+         [ Constr.ge (v d) (c lo); Constr.le (v d) (c (hi - 1)) ])
+       dims_bounds)
+
+let test_make_validation () =
+  Alcotest.check_raises "duplicate dims"
+    (Invalid_argument "Basic_set: duplicate dimension i") (fun () ->
+      ignore (Basic_set.make [ "i"; "i" ] []));
+  Alcotest.check_raises "unknown dim in constraint"
+    (Invalid_argument "Basic_set: constraint j >= 0 mentions unknown dim j")
+    (fun () -> ignore (Basic_set.make [ "i" ] [ Constr.Ge (v "j") ]))
+
+let test_membership () =
+  let s = box [ ("i", 0, 4); ("j", 0, 4) ] in
+  let env i j = function "i" -> i | "j" -> j | _ -> raise Not_found in
+  Alcotest.(check bool) "inside" true (Basic_set.mem (env 2 3) s);
+  Alcotest.(check bool) "outside" false (Basic_set.mem (env 4 0) s)
+
+let test_intersect () =
+  let a = box [ ("i", 0, 10) ] and b = box [ ("i", 5, 20) ] in
+  let both = Basic_set.intersect a b in
+  let env x = function "i" -> x | _ -> raise Not_found in
+  Alcotest.(check bool) "in both" true (Basic_set.mem (env 7) both);
+  Alcotest.(check bool) "only in a" false (Basic_set.mem (env 2) both)
+
+let test_project_out_rectangular () =
+  let s = box [ ("i", 0, 4); ("j", 2, 6) ] in
+  let p = Basic_set.project_out "j" s in
+  Alcotest.(check (list string)) "dims" [ "i" ] (Basic_set.dims p);
+  Alcotest.(check (pair (option int) (option int))) "range preserved"
+    (Some 0, Some 3)
+    (Basic_set.const_range "i" p)
+
+let test_project_out_equality () =
+  (* { (i, j) : j = i + 1, 0 <= i <= 5 } projected onto j is 1 <= j <= 6 *)
+  let s =
+    Basic_set.make [ "i"; "j" ]
+      [
+        Constr.eq (v "j") (Linexpr.add (v "i") (c 1));
+        Constr.ge (v "i") (c 0);
+        Constr.le (v "i") (c 5);
+      ]
+  in
+  let p = Basic_set.project_out "i" s in
+  Alcotest.(check (pair (option int) (option int))) "j range" (Some 1, Some 6)
+    (Basic_set.const_range "j" p)
+
+let test_project_fm_combination () =
+  (* { (i, j) : i + j <= 6, i >= j, j >= 1 } projected to j: 1 <= j <= 3 *)
+  let s =
+    Basic_set.make [ "i"; "j" ]
+      [
+        Constr.le (Linexpr.add (v "i") (v "j")) (c 6);
+        Constr.ge (v "i") (v "j");
+        Constr.ge (v "j") (c 1);
+      ]
+  in
+  let p = Basic_set.project_out "i" s in
+  Alcotest.(check (pair (option int) (option int))) "j range" (Some 1, Some 3)
+    (Basic_set.const_range "j" p)
+
+let test_change_space_strip_mine () =
+  (* i = 4*o + r with 0 <= r < 4 over 0 <= i < 10: o in 0..2 *)
+  let s = box [ ("i", 0, 10) ] in
+  let t =
+    Basic_set.change_space ~new_dims:[ "o"; "r" ]
+      ~bindings:[ ("i", Linexpr.add (Linexpr.term 4 "o") (v "r")) ]
+      ~extra:[ Constr.ge (v "r") (c 0); Constr.le (v "r") (c 3) ]
+      s
+  in
+  Alcotest.(check (pair (option int) (option int))) "o range" (Some 0, Some 2)
+    (Basic_set.const_range "o" t);
+  Alcotest.(check int) "point count preserved" 10 (Feasible.count t)
+
+let test_rename () =
+  let s = box [ ("i", 0, 3) ] in
+  let r = Basic_set.rename_dim "i" "x" s in
+  Alcotest.(check (list string)) "renamed" [ "x" ] (Basic_set.dims r);
+  Alcotest.check_raises "clash"
+    (Invalid_argument "Basic_set.rename_dim: i already present") (fun () ->
+      ignore (Basic_set.rename_dim "i" "i" (box [ ("i", 0, 3); ("j", 0, 3) ])
+              |> Basic_set.rename_dim "j" "i"))
+
+let test_simplify () =
+  let s =
+    Basic_set.make [ "i" ]
+      [ Constr.Ge (c 5); Constr.ge (v "i") (c 0); Constr.ge (v "i") (c 0) ]
+  in
+  let s' = Basic_set.simplify s in
+  Alcotest.(check int) "tautologies and duplicates dropped" 1
+    (List.length (Basic_set.constraints s'))
+
+let test_bounds_of () =
+  let s = box [ ("i", 2, 7); ("j", 0, 3) ] in
+  let lowers, uppers, rest = Basic_set.bounds_of "i" s in
+  Alcotest.(check int) "one lower" 1 (List.length lowers);
+  Alcotest.(check int) "one upper" 1 (List.length uppers);
+  Alcotest.(check int) "j bounds in rest" 2 (List.length rest);
+  let cl, el = List.hd lowers in
+  Alcotest.(check int) "lower coef" 1 cl;
+  Alcotest.(check string) "lower expr" "2" (Linexpr.to_string el)
+
+let prop_projection_is_shadow =
+  (* every point of the set maps into the projection *)
+  QCheck.Test.make ~name:"projection contains all shadows" ~count:100
+    QCheck.(
+      quad (int_range (-3) 3) (int_range (-3) 3) (int_range (-3) 3)
+        (int_range 0 6))
+    (fun (a, b, cst, w) ->
+      let s =
+        Basic_set.make [ "i"; "j" ]
+          [
+            Constr.ge (v "i") (c 0);
+            Constr.le (v "i") (c w);
+            Constr.ge (v "j") (c 0);
+            Constr.le (v "j") (c w);
+            Constr.ge
+              (Linexpr.add (Linexpr.term a "i") (Linexpr.term b "j"))
+              (c cst);
+          ]
+      in
+      let p = Basic_set.project_out "j" s in
+      List.for_all
+        (fun pt ->
+          match pt with
+          | [ i; _ ] ->
+              Basic_set.mem (function "i" -> i | _ -> raise Not_found) p
+          | _ -> false)
+        (Feasible.enumerate s))
+
+let () =
+  Alcotest.run "basic_set"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "construction validation" `Quick test_make_validation;
+          Alcotest.test_case "membership" `Quick test_membership;
+          Alcotest.test_case "intersection" `Quick test_intersect;
+          Alcotest.test_case "projection (rectangular)" `Quick
+            test_project_out_rectangular;
+          Alcotest.test_case "projection (via equality)" `Quick
+            test_project_out_equality;
+          Alcotest.test_case "projection (FM combination)" `Quick
+            test_project_fm_combination;
+          Alcotest.test_case "change of space (strip-mine)" `Quick
+            test_change_space_strip_mine;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+          Alcotest.test_case "bounds extraction" `Quick test_bounds_of;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_projection_is_shadow ]);
+    ]

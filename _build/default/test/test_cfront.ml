@@ -1,0 +1,222 @@
+open Pom_dsl
+open Pom_cfront
+
+let parse = Parse.parse_func
+
+let test_lexer () =
+  let toks = Lexer.tokenize "for (int i = 0; i < 32; i++) A[i] += 2.5f;" in
+  Alcotest.(check int) "token count" 22 (List.length toks);
+  Alcotest.(check bool) "float literal" true
+    (List.exists (function Lexer.Float f -> f = 2.5 | _ -> false) toks);
+  Alcotest.(check bool) "two-char punct" true
+    (List.exists (function Lexer.Punct "+=" -> true | _ -> false) toks)
+
+let test_lexer_comments_and_pragmas () =
+  let toks =
+    Lexer.tokenize
+      "#include <x.h>\n// line\n/* block\n comment */ x #pragma HLS pipeline\n y"
+  in
+  Alcotest.(check int) "only idents + eof" 3 (List.length toks)
+
+let test_lexer_error () =
+  Alcotest.check_raises "bad character" (Lexer.Lex_error "unexpected character @")
+    (fun () -> ignore (Lexer.tokenize "a @ b"))
+
+let gemm_src =
+  {|
+    void gemm(float D[16][16], float A[16][16], float B[16][16]) {
+      for (int i = 0; i < 16; i++)
+        for (int j = 0; j < 16; j++)
+          for (int k = 0; k < 16; k++)
+            D[i][j] += A[i][k] * B[k][j];
+    }
+  |}
+
+let test_parse_gemm () =
+  let f = parse gemm_src in
+  Alcotest.(check string) "name" "gemm" (Func.name f);
+  Alcotest.(check int) "one compute" 1 (List.length (Func.computes f));
+  let c = List.hd (Func.computes f) in
+  Alcotest.(check (list string)) "iterators" [ "i"; "j"; "k" ]
+    (Compute.iter_names c);
+  Alcotest.(check string) "dest" "D" (Compute.array_written c);
+  Alcotest.(check (list string)) "reads" [ "A"; "B"; "D" ]
+    (Compute.arrays_read c);
+  Alcotest.(check int) "trip count" 4096 (Compute.trip_count c)
+
+let test_parsed_gemm_matches_builtin () =
+  (* the parsed kernel and the DSL-built kernel compute identical values *)
+  let from_c = parse gemm_src in
+  let mem_c = Pom_sim.Memory.create (Func.placeholders from_c) in
+  Pom_sim.Interp.run_reference from_c mem_c;
+  let builtin = Pom_workloads.Polybench.gemm 16 in
+  let mem_b = Pom_sim.Memory.create (Func.placeholders builtin) in
+  Pom_sim.Interp.run_reference builtin mem_b;
+  List.iter2
+    (fun (_, x) (_, y) ->
+      Alcotest.(check (float 1e-9)) "checksum matches" x y)
+    (Pom_sim.Memory.checksums mem_c)
+    (Pom_sim.Memory.checksums mem_b)
+
+let test_fusion_structure () =
+  let src =
+    {|
+      void two(float A[8][8], float x[8], float y[8]) {
+        for (int i = 0; i < 8; i++) {
+          for (int j = 0; j < 8; j++) {
+            x[i] += A[i][j];
+            y[j] += A[i][j];
+          }
+        }
+      }
+    |}
+  in
+  let f = parse src in
+  Alcotest.(check int) "two computes" 2 (List.length (Func.computes f));
+  let afters =
+    List.filter_map
+      (fun d ->
+        match (d : Schedule.t) with
+        | Schedule.After { level; _ } -> Some level
+        | _ -> None)
+      (Func.directives f)
+  in
+  Alcotest.(check (list int)) "fused at depth 2" [ 2 ] afters
+
+let test_sequenced_loops_not_fused () =
+  let src =
+    {|
+      void two(float x[8], float y[8]) {
+        for (int i = 0; i < 8; i++)
+          x[i] = x[i] * 2.0f;
+        for (int i = 0; i < 8; i++)
+          y[i] = y[i] + x[i];
+      }
+    |}
+  in
+  let f = parse src in
+  Alcotest.(check int) "no fusion directives" 0
+    (List.length (Func.directives f))
+
+let test_triangular_bounds () =
+  let src =
+    {|
+      void tri(float A[8][8]) {
+        for (int i = 0; i < 8; i++)
+          for (int k = i + 1; k < 8; k++)
+            A[i][k] = A[i][k] * 0.5f;
+      }
+    |}
+  in
+  let f = parse src in
+  let c = List.hd (Func.computes f) in
+  Alcotest.(check bool) "where clause" true (c.Compute.where <> []);
+  (* 28 strictly-upper-triangular points *)
+  Alcotest.(check int) "triangular count" 28 (Compute.trip_count c)
+
+let test_le_bound_and_offsets () =
+  let src =
+    {|
+      void stencil(float A[10], float B[10]) {
+        for (int i = 1; i <= 8; i++)
+          B[i] = (A[i - 1] + A[i + 1]) / 2.0f;
+      }
+    |}
+  in
+  let f = parse src in
+  let c = List.hd (Func.computes f) in
+  let v = List.hd c.Compute.iters in
+  Alcotest.(check (pair int int)) "inclusive bound" (1, 9) (v.Var.lb, v.Var.ub)
+
+let test_int_kernel_dtype () =
+  let src =
+    {|
+      void acc(int16_t A[8], int16_t B[8]) {
+        for (int i = 0; i < 8; i++)
+          A[i] += B[i];
+      }
+    |}
+  in
+  let f = parse src in
+  let c = List.hd (Func.computes f) in
+  Alcotest.(check bool) "int16 dest" true
+    (Dtype.equal (fst c.Compute.dest).Placeholder.dtype Dtype.p_int16)
+
+let expect_parse_error src =
+  match parse src with
+  | exception Parse.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_rejections () =
+  (* non-affine index *)
+  expect_parse_error
+    "void f(float A[8][8]) { for (int i = 0; i < 8; i++) A[i][i*i] = 1.0f; }";
+  (* shadowed iterator *)
+  expect_parse_error
+    "void f(float A[8]) { for (int i = 0; i < 8; i++) for (int i = 0; i < 8; i++) A[i] = 1.0f; }";
+  (* non-unit stride *)
+  expect_parse_error
+    "void f(float A[8]) { for (int i = 0; i < 8; i += 2) A[i] = 1.0f; }";
+  (* scalar parameter *)
+  expect_parse_error "void f(float a) { a = 1.0f; }";
+  (* unknown array *)
+  expect_parse_error
+    "void f(float A[8]) { for (int i = 0; i < 8; i++) B[i] = 1.0f; }"
+
+let kernel_dir =
+  (* resolve against the executable so both `dune exec` (cwd = root) and
+     `dune runtest` (cwd = build dir) find the sources *)
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    "../../../examples/kernels"
+
+let test_example_files_compile_end_to_end () =
+  List.iter
+    (fun (path, expect_min_speedup) ->
+      let path = Filename.concat kernel_dir path in
+      let func = Parse.parse_file path in
+      let c = Pom.compile ~framework:`Pom_auto func in
+      Alcotest.(check bool)
+        (path ^ " speedup")
+        true
+        (Pom.speedup c > expect_min_speedup);
+      Alcotest.(check (float 0.0)) (path ^ " validates") 0.0
+        (Pom.validate func c);
+      Alcotest.(check (list pass)) (path ^ " legal") [] (Pom.check_legality func c))
+    [
+      ("gemm.c", 100.0);
+      ("bicg.c", 100.0);
+      ("trmm.c", 20.0);
+      ("seidel.c", 10.0);
+    ]
+
+let () =
+  Alcotest.run "cfront"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer;
+          Alcotest.test_case "comments and pragmas" `Quick
+            test_lexer_comments_and_pragmas;
+          Alcotest.test_case "errors" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "gemm structure" `Quick test_parse_gemm;
+          Alcotest.test_case "parsed = builtin semantics" `Quick
+            test_parsed_gemm_matches_builtin;
+          Alcotest.test_case "fusion structure" `Quick test_fusion_structure;
+          Alcotest.test_case "sequenced loops" `Quick
+            test_sequenced_loops_not_fused;
+          Alcotest.test_case "triangular bounds" `Quick test_triangular_bounds;
+          Alcotest.test_case "inclusive bounds and offsets" `Quick
+            test_le_bound_and_offsets;
+          Alcotest.test_case "integer kernels" `Quick test_int_kernel_dtype;
+          Alcotest.test_case "rejections" `Quick test_rejections;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "example kernels through the DSE" `Slow
+            test_example_files_compile_end_to_end;
+        ] );
+    ]

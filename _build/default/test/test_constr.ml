@@ -1,0 +1,83 @@
+open Pom_poly
+
+let v = Linexpr.var
+
+let c = Linexpr.const
+
+let constr_str x = Constr.to_string x
+
+let test_smart_constructors () =
+  Alcotest.(check string) "ge" "i - 3 >= 0" (constr_str (Constr.ge (v "i") (c 3)));
+  Alcotest.(check string) "le" "-i + 3 >= 0" (constr_str (Constr.le (v "i") (c 3)));
+  Alcotest.(check string) "lt is integer strict" "-i + 2 >= 0"
+    (constr_str (Constr.lt (v "i") (c 3)));
+  Alcotest.(check string) "gt" "i - 4 >= 0" (constr_str (Constr.gt (v "i") (c 3)));
+  Alcotest.(check string) "eq" "i - j = 0" (constr_str (Constr.eq (v "i") (v "j")))
+
+let test_sat () =
+  let env = function "i" -> 4 | "j" -> 4 | _ -> raise Not_found in
+  Alcotest.(check bool) "ge sat" true (Constr.sat env (Constr.ge (v "i") (c 4)));
+  Alcotest.(check bool) "lt unsat at boundary" false
+    (Constr.sat env (Constr.lt (v "i") (c 4)));
+  Alcotest.(check bool) "eq sat" true (Constr.sat env (Constr.eq (v "i") (v "j")))
+
+let test_normalize_inequality_tightens () =
+  (* 2i - 3 >= 0 normalizes to i - 2 >= 0 (i >= ceil(3/2)) *)
+  let c' = Constr.Ge (Linexpr.add (Linexpr.term 2 "i") (c (-3))) in
+  match Constr.normalize c' with
+  | Some n -> Alcotest.(check string) "tightened" "i - 2 >= 0" (constr_str n)
+  | None -> Alcotest.fail "unexpected unsat"
+
+let test_normalize_equality_gcd () =
+  (* 2i - 3 = 0 has no integer solution *)
+  let c' = Constr.Eq (Linexpr.add (Linexpr.term 2 "i") (c (-3))) in
+  Alcotest.(check bool) "gcd-unsat equality" true (Constr.normalize c' = None);
+  (* 2i - 4 = 0 becomes i - 2 = 0 *)
+  let c2 = Constr.Eq (Linexpr.add (Linexpr.term 2 "i") (c (-4))) in
+  match Constr.normalize c2 with
+  | Some n -> Alcotest.(check string) "divided" "i - 2 = 0" (constr_str n)
+  | None -> Alcotest.fail "unexpected unsat"
+
+let test_tautology_contradiction () =
+  Alcotest.(check bool) "0 >= 0 tautology" true (Constr.is_tautology (Constr.Ge (c 0)));
+  Alcotest.(check bool) "5 >= 0 tautology" true (Constr.is_tautology (Constr.Ge (c 5)));
+  Alcotest.(check bool) "-1 >= 0 contradiction" true
+    (Constr.is_contradiction (Constr.Ge (c (-1))));
+  Alcotest.(check bool) "1 = 0 contradiction" true
+    (Constr.is_contradiction (Constr.Eq (c 1)));
+  Alcotest.(check bool) "i >= 0 neither" false
+    (Constr.is_tautology (Constr.Ge (v "i")) || Constr.is_contradiction (Constr.Ge (v "i")))
+
+let test_subst () =
+  let c' = Constr.ge (v "i") (c 0) in
+  let subbed = Constr.subst "i" (Linexpr.sub (v "j") (c 2)) c' in
+  Alcotest.(check string) "subst" "j - 2 >= 0" (constr_str subbed)
+
+let prop_normalize_preserves_integer_solutions =
+  QCheck.Test.make ~name:"normalize preserves integer solution set" ~count:300
+    QCheck.(triple (int_range (-6) 6) (int_range (-20) 20) (int_range (-10) 10))
+    (fun (coeff, cst, x) ->
+      QCheck.assume (coeff <> 0);
+      let c' = Constr.Ge (Linexpr.add (Linexpr.term coeff "i") (Linexpr.const cst)) in
+      let env = function "i" -> x | _ -> raise Not_found in
+      match Constr.normalize c' with
+      | Some n -> Constr.sat env c' = Constr.sat env n
+      | None -> not (Constr.sat env c'))
+
+let () =
+  Alcotest.run "constr"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "satisfaction" `Quick test_sat;
+          Alcotest.test_case "inequality normalization tightens" `Quick
+            test_normalize_inequality_tightens;
+          Alcotest.test_case "equality GCD test" `Quick test_normalize_equality_gcd;
+          Alcotest.test_case "tautology and contradiction" `Quick
+            test_tautology_contradiction;
+          Alcotest.test_case "substitution" `Quick test_subst;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_normalize_preserves_integer_solutions ] );
+    ]

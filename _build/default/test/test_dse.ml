@@ -1,0 +1,220 @@
+open Pom_dsl
+open Pom_dse
+open Pom_workloads
+
+let find_plan (s : Stage1.t) name =
+  List.find (fun (p : Stage1.node_plan) -> p.Stage1.compute = name) s.Stage1.nodes
+
+let test_stage1_gemm_reorders () =
+  let s = Stage1.run (Polybench.gemm 64) in
+  let p = find_plan s "s" in
+  Alcotest.(check bool) "not tight" false p.Stage1.tight;
+  Alcotest.(check bool) "k moved off innermost" true
+    (List.nth p.Stage1.final_order 2 <> "k")
+
+let test_stage1_bicg_split_interchange_merge () =
+  (* the Fig. 10 sequence: distribute, interchange s_q, re-fuse *)
+  let s = Stage1.run (Polybench.bicg 64) in
+  let pq = find_plan s "s_q" and ps = find_plan s "s_s" in
+  Alcotest.(check (list string)) "s_q interchanged" [ "j"; "i" ]
+    pq.Stage1.final_order;
+  Alcotest.(check (list string)) "s_s kept" [ "i"; "j" ] ps.Stage1.final_order;
+  let fused =
+    List.exists
+      (fun d -> match d with Schedule.Fuse _ -> true | _ -> false)
+      s.Stage1.directives
+  in
+  Alcotest.(check bool) "re-fused" true fused;
+  Alcotest.(check bool) "several analysis rounds" true (s.Stage1.iterations >= 2)
+
+let test_stage1_jacobi_keeps_user_fusion () =
+  (* ping-pong computes have cross dependences: the time-loop fusion must
+     be preserved, not distributed *)
+  let s = Stage1.run (Polybench.jacobi1d ~tsteps:8 64) in
+  let fused =
+    List.exists
+      (fun d ->
+        match d with Schedule.After _ | Schedule.Fuse _ -> true | _ -> false)
+      s.Stage1.directives
+  in
+  Alcotest.(check bool) "fusion preserved" true fused
+
+let test_stage1_seidel_skews () =
+  let s = Stage1.run (Polybench.seidel ~tsteps:4 64) in
+  let p = find_plan s "s" in
+  Alcotest.(check bool) "skewed" true p.Stage1.skewed;
+  let has_skew =
+    List.exists
+      (fun d -> match d with Schedule.Skew _ -> true | _ -> false)
+      s.Stage1.directives
+  in
+  Alcotest.(check bool) "skew directive emitted" true has_skew
+
+let test_stage1_transformed_programs_are_correct () =
+  List.iter
+    (fun func ->
+      let s = Stage1.run func in
+      let prog =
+        List.fold_left Pom_polyir.Prog.apply
+          (Pom_polyir.Prog.of_func_unscheduled func)
+          s.Stage1.directives
+      in
+      Alcotest.(check (float 0.0))
+        (Func.name func ^ " stage1 preserves semantics")
+        0.0
+        (Pom_sim.Interp.divergence func prog))
+    [
+      Polybench.gemm 8;
+      Polybench.bicg 8;
+      Polybench.gesummv 8;
+      Polybench.seidel ~tsteps:3 10;
+      Polybench.jacobi1d ~tsteps:3 10;
+    ]
+
+let test_stage2_improves_and_fits () =
+  let func = Polybench.gemm 256 in
+  let stage1 = Stage1.run func in
+  let r = Stage2.run func stage1 in
+  let baseline = Pom_hls.Report.baseline_latency func in
+  Alcotest.(check bool) "feasible" true r.Stage2.report.Pom_hls.Report.feasible;
+  Alcotest.(check bool) "speedup > 50x" true
+    (Pom_hls.Report.speedup ~baseline r.Stage2.report > 50.0);
+  Alcotest.(check bool) "terminates" true (r.Stage2.iterations < 60)
+
+let test_stage2_respects_scaled_device () =
+  let func = Polybench.mm2 512 in
+  let full = Stage2.run func (Stage1.run func) in
+  let quarter_device = Pom_hls.Device.scale 0.25 Pom_hls.Device.xc7z020 in
+  let quarter = Stage2.run ~device:quarter_device func (Stage1.run func) in
+  Alcotest.(check bool) "quarter fits quarter" true
+    (Pom_hls.Resource.fits quarter_device
+       quarter.Stage2.report.Pom_hls.Report.usage);
+  Alcotest.(check bool) "full uses more than quarter" true
+    (full.Stage2.report.Pom_hls.Report.usage.Pom_hls.Resource.dsp
+    >= quarter.Stage2.report.Pom_hls.Report.usage.Pom_hls.Resource.dsp);
+  Alcotest.(check bool) "full is at least as fast" true
+    (full.Stage2.report.Pom_hls.Report.latency
+    <= quarter.Stage2.report.Pom_hls.Report.latency)
+
+let test_stage2_tile_vectors () =
+  let func = Polybench.gemm 256 in
+  let r = Stage2.run func (Stage1.run func) in
+  match List.assoc_opt "s" r.Stage2.tile_vectors with
+  | Some v ->
+      Alcotest.(check int) "vector per level" 3 (List.length v);
+      Alcotest.(check bool) "some parallelism" true
+        (List.fold_left ( * ) 1 v > 1)
+  | None -> Alcotest.fail "missing tile vector"
+
+let test_engine_end_to_end_correct () =
+  List.iter
+    (fun func ->
+      let o = Engine.run func in
+      Alcotest.(check (float 0.0))
+        (Func.name func ^ " DSE output preserves semantics")
+        0.0
+        (Pom_sim.Interp.divergence func o.Engine.result.Stage2.prog))
+    [
+      Polybench.gemm 8;
+      Polybench.bicg 8;
+      Polybench.mm2 8;
+      Polybench.seidel ~tsteps:3 10;
+      Polybench.jacobi2d ~tsteps:2 8;
+      Image.blur 12;
+    ]
+
+let test_engine_bottleneck_balance () =
+  (* 3MM: the bottleneck-oriented search must optimize all three products,
+     unlike the greedy baseline *)
+  let func = Polybench.mm3 512 in
+  let o = Engine.run func in
+  let pars =
+    List.map
+      (fun (_, v) -> List.fold_left ( * ) 1 v)
+      o.Engine.result.Stage2.tile_vectors
+  in
+  Alcotest.(check int) "three vectors" 3 (List.length pars);
+  List.iter
+    (fun p -> Alcotest.(check bool) "every loop optimized" true (p > 1))
+    pars
+
+let test_custom_strategy_group () =
+  (* a conservative user strategy (only doubling, capped trials) still
+     terminates and produces a feasible design *)
+  let func = Polybench.gemm 256 in
+  let r =
+    Stage2.run ~steps:(fun p -> [ p * 2 ]) func (Stage1.run func)
+  in
+  Alcotest.(check bool) "feasible" true r.Stage2.report.Pom_hls.Report.feasible;
+  (* a dense strategy explores at least as well *)
+  let dense =
+    Stage2.run ~steps:(fun p -> [ p * 2; p * 3 / 2; p + 1 ]) func (Stage1.run func)
+  in
+  Alcotest.(check bool) "dense at least as fast" true
+    (dense.Stage2.report.Pom_hls.Report.latency
+    <= r.Stage2.report.Pom_hls.Report.latency)
+
+let test_trace_records_decisions () =
+  let func = Polybench.gemm 256 in
+  let r = Stage2.run func (Stage1.run func) in
+  Alcotest.(check bool) "trace non-empty" true (r.Stage2.trace <> []);
+  Alcotest.(check bool) "records acceptance" true
+    (List.exists
+       (fun line ->
+         String.length line > 8
+         &&
+         let re = "accepted" in
+         let rec has i =
+           i + String.length re <= String.length line
+           && (String.sub line i (String.length re) = re || has (i + 1))
+         in
+         has 0)
+       r.Stage2.trace)
+
+let test_realize_cases () =
+  (* pipeline only *)
+  let r1 = Stage2.realize "s" [ "i"; "j" ] [ 16; 16 ] 1 in
+  Alcotest.(check (list int)) "par 1 vector" [ 1; 1 ] r1.Stage2.tile_vector;
+  (* split innermost *)
+  let r4 = Stage2.realize "s" [ "i"; "j" ] [ 16; 16 ] 4 in
+  Alcotest.(check (list int)) "par 4 vector" [ 1; 4 ] r4.Stage2.tile_vector;
+  (* spill into the second dim *)
+  let r64 = Stage2.realize "s" [ "i"; "j" ] [ 16; 16 ] 64 in
+  Alcotest.(check (list int)) "par 64 vector" [ 4; 16 ] r64.Stage2.tile_vector;
+  (* three-deep prefers a balanced [., 2, 16] split *)
+  let r32 = Stage2.realize "s" [ "i"; "j"; "k" ] [ 64; 64; 64 ] 32 in
+  Alcotest.(check (list int)) "deep balanced" [ 1; 2; 16 ] r32.Stage2.tile_vector
+
+let () =
+  Alcotest.run "dse"
+    [
+      ( "stage1",
+        [
+          Alcotest.test_case "gemm reorders" `Quick test_stage1_gemm_reorders;
+          Alcotest.test_case "bicg split-interchange-merge" `Quick
+            test_stage1_bicg_split_interchange_merge;
+          Alcotest.test_case "jacobi keeps fusion" `Quick
+            test_stage1_jacobi_keeps_user_fusion;
+          Alcotest.test_case "seidel skews" `Quick test_stage1_seidel_skews;
+          Alcotest.test_case "stage1 semantics" `Slow
+            test_stage1_transformed_programs_are_correct;
+        ] );
+      ( "stage2",
+        [
+          Alcotest.test_case "improves and fits" `Quick test_stage2_improves_and_fits;
+          Alcotest.test_case "respects scaled device" `Quick
+            test_stage2_respects_scaled_device;
+          Alcotest.test_case "tile vectors" `Quick test_stage2_tile_vectors;
+          Alcotest.test_case "realize cases" `Quick test_realize_cases;
+          Alcotest.test_case "custom strategy group" `Quick
+            test_custom_strategy_group;
+          Alcotest.test_case "decision trace" `Quick test_trace_records_decisions;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "end-to-end semantics" `Slow
+            test_engine_end_to_end_correct;
+          Alcotest.test_case "bottleneck balance on 3MM" `Quick
+            test_engine_bottleneck_balance;
+        ] );
+    ]

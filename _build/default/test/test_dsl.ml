@@ -1,0 +1,150 @@
+open Pom_dsl
+open Expr
+
+let f32 = Dtype.p_float32
+
+let test_dtype () =
+  Alcotest.(check int) "f32 bits" 32 (Dtype.bits Dtype.p_float32);
+  Alcotest.(check int) "i64 bits" 64 (Dtype.bits Dtype.p_int64);
+  Alcotest.(check bool) "float" true (Dtype.is_float Dtype.p_float64);
+  Alcotest.(check bool) "uint unsigned" false (Dtype.is_signed Dtype.p_uint16);
+  Alcotest.(check string) "c name" "uint8_t" (Dtype.c_name Dtype.p_uint8)
+
+let test_var () =
+  let i = Var.make "i" 0 32 in
+  Alcotest.(check int) "extent" 32 (Var.extent i);
+  Alcotest.(check int) "two constraints" 2 (List.length (Var.constraints i));
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Var.make i: empty range [5, 5)") (fun () ->
+      ignore (Var.make "i" 5 5));
+  Alcotest.check_raises "reserved char"
+    (Invalid_argument "Var.make: reserved character in name s$x") (fun () ->
+      ignore (Var.make "s$x" 0 4))
+
+let test_placeholder () =
+  let p = Placeholder.make "A" [ 4; 8 ] f32 in
+  Alcotest.(check int) "rank" 2 (Placeholder.rank p);
+  Alcotest.(check int) "size" 32 (Placeholder.size p);
+  Alcotest.(check int) "bits" 1024 (Placeholder.bits p);
+  Alcotest.check_raises "empty shape"
+    (Invalid_argument "Placeholder.make: empty shape") (fun () ->
+      ignore (Placeholder.make "A" [] f32))
+
+let test_index_to_linexpr () =
+  let open Pom_poly in
+  let e = index_to_linexpr ((2 *! ix_name "i") +! ixc 3 -! ix_name "j") in
+  Alcotest.(check int) "coeff i" 2 (Linexpr.coeff e "i");
+  Alcotest.(check int) "coeff j" (-1) (Linexpr.coeff e "j");
+  Alcotest.(check int) "const" 3 (Linexpr.const_of e)
+
+let test_expr_ops () =
+  let a = Placeholder.make "A" [ 8 ] f32 in
+  let b = Placeholder.make "B" [ 8 ] f32 in
+  let e = (access a [ ixc 0 ] +: access b [ ixc 1 ]) *: fconst 2.0 in
+  let adds, _, muls, _, _ = op_counts e in
+  Alcotest.(check (pair int int)) "op counts" (1, 1) (adds, muls);
+  Alcotest.(check int) "loads" 2 (List.length (loads e));
+  Alcotest.check_raises "rank check"
+    (Invalid_argument "Expr.access: A has rank 1, got 2 indices") (fun () ->
+      ignore (access a [ ixc 0; ixc 1 ]))
+
+let test_expr_subst () =
+  let a = Placeholder.make "A" [ 8 ] f32 in
+  let e = access a [ ix_name "i" ] in
+  let e' = subst_indices [ ("i", ix_name "x" +! ixc 1) ] e in
+  match loads e' with
+  | [ (_, [ idx ]) ] ->
+      let open Pom_poly in
+      let le = index_to_linexpr idx in
+      Alcotest.(check int) "substituted coeff" 1 (Linexpr.coeff le "x");
+      Alcotest.(check int) "substituted const" 1 (Linexpr.const_of le)
+  | _ -> Alcotest.fail "unexpected loads"
+
+let gemm_compute () =
+  let n = 8 in
+  let i = Var.make "i" 0 n and j = Var.make "j" 0 n and k = Var.make "k" 0 n in
+  let d = Placeholder.make "D" [ n; n ] f32 in
+  let a = Placeholder.make "A" [ n; n ] f32 in
+  let b = Placeholder.make "B" [ n; n ] f32 in
+  Compute.make "s" ~iters:[ i; j; k ]
+    ~body:(access d [ ix i; ix j ] +: (access a [ ix i; ix k ] *: access b [ ix k; ix j ]))
+    ~dest:(d, [ ix i; ix j ]) ()
+
+let test_compute () =
+  let s = gemm_compute () in
+  Alcotest.(check (list string)) "iters" [ "i"; "j"; "k" ] (Compute.iter_names s);
+  Alcotest.(check (list string)) "reduction dims" [ "k" ] (Compute.reduction_dims s);
+  Alcotest.(check bool) "is reduction" true (Compute.is_reduction s);
+  Alcotest.(check string) "written" "D" (Compute.array_written s);
+  Alcotest.(check (list string)) "read" [ "A"; "B"; "D" ] (Compute.arrays_read s);
+  Alcotest.(check int) "trip count" 512 (Compute.trip_count s);
+  Alcotest.(check int) "domain points" 512
+    (Pom_poly.Feasible.count (Compute.domain s))
+
+let test_compute_validation () =
+  let n = 4 in
+  let i = Var.make "i" 0 n in
+  let a = Placeholder.make "A" [ n ] f32 in
+  Alcotest.check_raises "unknown iterator"
+    (Invalid_argument "Compute.make s: unknown iterator j") (fun () ->
+      ignore
+        (Compute.make "s" ~iters:[ i ]
+           ~body:(access a [ ix_name "j" ])
+           ~dest:(a, [ ix i ]) ()))
+
+let test_schedule_constructors () =
+  Alcotest.check_raises "split factor"
+    (Invalid_argument "Schedule.split: factor must exceed 1") (fun () ->
+      ignore (Schedule.split "s" "i" 1 "a" "b"));
+  Alcotest.check_raises "skew unimodular"
+    (Invalid_argument "Schedule.skew: inner factor must be 1 or -1 (unimodular)")
+    (fun () -> ignore (Schedule.skew "s" "i" "j" 2 3 "a" "b"));
+  Alcotest.(check bool) "pipeline is hardware" true
+    (Schedule.is_hardware (Schedule.pipeline "s" "i" 1));
+  Alcotest.(check bool) "tile is transformation" false
+    (Schedule.is_hardware (Schedule.tile "s" "i" "j" 2 2 "a" "b" "c" "d"))
+
+let test_func () =
+  let f = Func.create "f" in
+  let s = gemm_compute () in
+  Func.add_compute f s;
+  Alcotest.(check int) "one compute" 1 (List.length (Func.computes f));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Func f: duplicate compute s") (fun () ->
+      Func.add_compute f s);
+  Alcotest.check_raises "unknown compute in directive"
+    (Invalid_argument "Func f: no compute t") (fun () ->
+      Func.schedule f (Schedule.pipeline "t" "i" 1));
+  Func.schedule f (Schedule.pipeline "s" "i" 1);
+  Alcotest.(check int) "one directive" 1 (List.length (Func.directives f));
+  Alcotest.(check bool) "no auto dse yet" false (Func.wants_auto_dse f);
+  Func.schedule f Schedule.auto_dse;
+  Alcotest.(check bool) "auto dse" true (Func.wants_auto_dse f)
+
+let test_loc () =
+  let f = Func.create "f" in
+  Func.add_compute f (gemm_compute ());
+  Func.schedule f (Schedule.pipeline "s" "i" 1);
+  Func.schedule f (Schedule.unroll "s" "j" 4);
+  (* 3 placeholders + 3 iterators + 1 compute + codegen = 8 decl lines *)
+  Alcotest.(check int) "manual loc" 10 (Func.loc f);
+  Alcotest.(check int) "auto loc" 9 (Func.loc_auto f)
+
+let () =
+  Alcotest.run "dsl"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "dtype" `Quick test_dtype;
+          Alcotest.test_case "var" `Quick test_var;
+          Alcotest.test_case "placeholder" `Quick test_placeholder;
+          Alcotest.test_case "index to linexpr" `Quick test_index_to_linexpr;
+          Alcotest.test_case "expression ops" `Quick test_expr_ops;
+          Alcotest.test_case "expression substitution" `Quick test_expr_subst;
+          Alcotest.test_case "compute" `Quick test_compute;
+          Alcotest.test_case "compute validation" `Quick test_compute_validation;
+          Alcotest.test_case "schedule constructors" `Quick test_schedule_constructors;
+          Alcotest.test_case "func" `Quick test_func;
+          Alcotest.test_case "lines of code" `Quick test_loc;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+open Pom_dsl
+open Pom_polyir
+open Expr
+
+let f32 = Dtype.p_float32
+
+let gemm_func n =
+  let f = Func.create "gemm" in
+  let i = Var.make "i" 0 n and j = Var.make "j" 0 n and k = Var.make "k" 0 n in
+  let d = Placeholder.make "D" [ n; n ] f32 in
+  let a = Placeholder.make "A" [ n; n ] f32 in
+  let b = Placeholder.make "B" [ n; n ] f32 in
+  ignore
+    (Func.compute f "s" ~iters:[ k; i; j ]
+       ~body:
+         (access d [ ix i; ix j ]
+         +: (access a [ ix i; ix k ] *: access b [ ix k; ix j ]))
+       ~dest:(d, [ ix i; ix j ]) ());
+  f
+
+let emit func = Pom_emit.Emit.hls_c (Pom_affine.Lower.lower (Prog.of_func func))
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_signature () =
+  let c = emit (gemm_func 8) in
+  Alcotest.(check bool) "function signature" true
+    (contains c "void gemm(float A[8][8], float B[8][8], float D[8][8])")
+
+let test_loop_structure () =
+  let c = emit (gemm_func 8) in
+  Alcotest.(check bool) "for loop" true
+    (contains c "for (int c0 = 0; c0 <= 7; c0++)");
+  Alcotest.(check bool) "statement" true (contains c "D[c1][c2] = (D[c1][c2] + (A[c1][c0] * B[c0][c2]));")
+
+let test_pragmas () =
+  let f = gemm_func 8 in
+  Func.schedule f (Schedule.pipeline "s" "i" 2);
+  Func.schedule f (Schedule.unroll "s" "j" 4);
+  Func.schedule f (Schedule.partition "A" [ 2; 4 ] Schedule.Block);
+  let c = emit f in
+  Alcotest.(check bool) "pipeline pragma" true (contains c "#pragma HLS pipeline II=2");
+  Alcotest.(check bool) "unroll pragma" true (contains c "#pragma HLS unroll factor=4");
+  Alcotest.(check bool) "partition dim 1" true
+    (contains c "#pragma HLS array_partition variable=A block factor=2 dim=1");
+  Alcotest.(check bool) "partition dim 2" true
+    (contains c "#pragma HLS array_partition variable=A block factor=4 dim=2")
+
+let test_skewed_bounds () =
+  let f = gemm_func 8 in
+  Func.schedule f (Schedule.skew "s" "i" "j" 1 1 "is" "js");
+  Func.schedule f (Schedule.interchange "s" "js" "is");
+  let c = emit f in
+  (* skew produces parametric max/min bounds *)
+  Alcotest.(check bool) "imax bound" true (contains c "imax(");
+  Alcotest.(check bool) "imin bound" true (contains c "imin(")
+
+let test_minmax_emission () =
+  let n = 4 in
+  let i = Var.make "i" 0 n in
+  let a = Placeholder.make "A" [ n ] f32 in
+  let b = Placeholder.make "B" [ n ] f32 in
+  let f = Func.create "clip" in
+  ignore
+    (Func.compute f "s" ~iters:[ i ]
+       ~body:(min_ (access a [ ix i ]) (fconst 1.0))
+       ~dest:(b, [ ix i ]) ());
+  Alcotest.(check bool) "fminf" true (contains (emit f) "fminf(")
+
+let test_mlir_structure () =
+  let f = gemm_func 8 in
+  Func.schedule f (Schedule.pipeline "s" "i" 1);
+  Func.schedule f (Schedule.unroll "s" "j" 4);
+  Func.schedule f (Schedule.partition "A" [ 2; 4 ] Schedule.Cyclic);
+  let m = Pom_emit.Emit_mlir.mlir (Pom_affine.Lower.lower (Prog.of_func f)) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mlir contains " ^ needle) true (contains m needle))
+    [
+      "func.func @gemm";
+      "memref<8x8xf32>";
+      "affine.for %c0 = 0 to 8";
+      "affine.load %D[%c1, %c2] : memref<8x8xf32>";
+      "arith.mulf";
+      "arith.addf";
+      "affine.store";
+      "{hls.pipeline_ii = 1 : i32}";
+      "{hls.unroll = 4 : i32}";
+      "hls.partition = [2, 4]";
+      "return";
+    ]
+
+let test_mlir_ssa_numbering () =
+  let f = gemm_func 8 in
+  let m = Pom_emit.Emit_mlir.mlir (Pom_affine.Lower.lower (Prog.of_func f)) in
+  (* three loads + mul + add = SSA values %0..%4 *)
+  Alcotest.(check bool) "last ssa value" true (contains m "%4 = arith.addf");
+  Alcotest.(check bool) "stores the sum" true (contains m "affine.store %4")
+
+let test_mlir_int_types () =
+  let m =
+    Pom_emit.Emit_mlir.mlir
+      (Pom_affine.Lower.lower
+         (Prog.of_func (Pom_workloads.Polybench.gemm_typed Dtype.p_int16 8)))
+  in
+  Alcotest.(check bool) "integer memref" true (contains m "memref<8x8xi16>");
+  Alcotest.(check bool) "integer arith" true (contains m "arith.muli")
+
+let test_mlir_split_indices () =
+  let f = gemm_func 8 in
+  Func.schedule f (Schedule.split "s" "j" 4 "j0" "j1");
+  let m = Pom_emit.Emit_mlir.mlir (Pom_affine.Lower.lower (Prog.of_func f)) in
+  Alcotest.(check bool) "affine index expression" true
+    (contains m "%c2 * 4 + %c3" || contains m "%c3 + %c2 * 4")
+
+let test_loc () =
+  Alcotest.(check int) "loc counts non-empty lines" 3
+    (Pom_emit.Emit.loc "a\n\n  \nb\nc\n");
+  let c = emit (gemm_func 8) in
+  Alcotest.(check bool) "gemm C is non-trivial" true (Pom_emit.Emit.loc c > 8)
+
+let () =
+  Alcotest.run "emit"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "signature" `Quick test_signature;
+          Alcotest.test_case "loop structure" `Quick test_loop_structure;
+          Alcotest.test_case "pragmas" `Quick test_pragmas;
+          Alcotest.test_case "skewed bounds" `Quick test_skewed_bounds;
+          Alcotest.test_case "min/max emission" `Quick test_minmax_emission;
+          Alcotest.test_case "line counting" `Quick test_loc;
+          Alcotest.test_case "mlir structure" `Quick test_mlir_structure;
+          Alcotest.test_case "mlir ssa numbering" `Quick test_mlir_ssa_numbering;
+          Alcotest.test_case "mlir integer types" `Quick test_mlir_int_types;
+          Alcotest.test_case "mlir split indices" `Quick test_mlir_split_indices;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+open Pom_poly
+
+let v = Linexpr.var
+
+let c = Linexpr.const
+
+let box dims_bounds =
+  Basic_set.make
+    (List.map (fun (d, _, _) -> d) dims_bounds)
+    (List.concat_map
+       (fun (d, lo, hi) ->
+         [ Constr.ge (v d) (c lo); Constr.le (v d) (c (hi - 1)) ])
+       dims_bounds)
+
+let test_emptiness_basic () =
+  Alcotest.(check bool) "box non-empty" false (Feasible.is_empty (box [ ("i", 0, 4) ]));
+  let empty =
+    Basic_set.make [ "i" ] [ Constr.ge (v "i") (c 5); Constr.le (v "i") (c 2) ]
+  in
+  Alcotest.(check bool) "contradictory bounds" true (Feasible.is_empty empty)
+
+let test_emptiness_gcd () =
+  (* 2i = 1 has no integer solution *)
+  let s =
+    Basic_set.make [ "i" ]
+      [ Constr.Eq (Linexpr.add (Linexpr.term 2 "i") (c (-1))) ]
+  in
+  Alcotest.(check bool) "parity equality empty" true (Feasible.is_empty s)
+
+let test_emptiness_needs_combination () =
+  (* i + j >= 5 and i <= 1 and j <= 1: empty only after combining *)
+  let s =
+    Basic_set.make [ "i"; "j" ]
+      [
+        Constr.ge (Linexpr.add (v "i") (v "j")) (c 5);
+        Constr.le (v "i") (c 1);
+        Constr.le (v "j") (c 1);
+      ]
+  in
+  Alcotest.(check bool) "combined emptiness" true (Feasible.is_empty s)
+
+let test_enumerate () =
+  let s = box [ ("i", 0, 2); ("j", 0, 3) ] in
+  Alcotest.(check (list (list int))) "lexicographic enumeration"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 0; 2 ]; [ 1; 0 ]; [ 1; 1 ]; [ 1; 2 ] ]
+    (Feasible.enumerate s);
+  Alcotest.(check int) "count" 6 (Feasible.count s)
+
+let test_enumerate_triangle () =
+  (* j <= i over 0 <= i < 3 *)
+  let s =
+    Basic_set.add_constraint (Constr.le (v "j") (v "i")) (box [ ("i", 0, 3); ("j", 0, 3) ])
+  in
+  Alcotest.(check int) "triangular count" 6 (Feasible.count s)
+
+let test_sample () =
+  let s = box [ ("i", 3, 5) ] in
+  Alcotest.(check (option (list int))) "first point" (Some [ 3 ]) (Feasible.sample s);
+  let e = Basic_set.make [ "i" ] [ Constr.ge (v "i") (c 1); Constr.le (v "i") (c 0) ] in
+  Alcotest.(check (option (list int))) "empty sample" None (Feasible.sample e)
+
+let test_min_max () =
+  let s = box [ ("i", 2, 7); ("j", 1, 4) ] in
+  let obj = Linexpr.add (v "i") (Linexpr.term 2 "j") in
+  Alcotest.(check (option int)) "min" (Some 4) (Feasible.min_of obj s);
+  Alcotest.(check (option int)) "max" (Some 12) (Feasible.max_of obj s)
+
+let test_min_max_empty () =
+  let e = Basic_set.make [ "i" ] [ Constr.ge (v "i") (c 1); Constr.le (v "i") (c 0) ] in
+  Alcotest.(check (option int)) "min of empty" None (Feasible.min_of (v "i") e)
+
+(* random small polyhedra: is_empty agrees with brute-force enumeration *)
+let random_set =
+  QCheck.Gen.(
+    let constr =
+      map3
+        (fun a b cst ->
+          Constr.Ge
+            (Linexpr.add (Linexpr.term a "i")
+               (Linexpr.add (Linexpr.term b "j") (Linexpr.const cst))))
+        (int_range (-3) 3) (int_range (-3) 3) (int_range (-6) 6)
+    in
+    map
+      (fun cs ->
+        Basic_set.make [ "i"; "j" ]
+          (Constr.ge (v "i") (c (-4)) :: Constr.le (v "i") (c 4)
+          :: Constr.ge (v "j") (c (-4)) :: Constr.le (v "j") (c 4) :: cs))
+      (list_size (int_range 0 4) constr))
+
+let brute_force_empty s =
+  let found = ref false in
+  for i = -4 to 4 do
+    for j = -4 to 4 do
+      if Basic_set.mem (function "i" -> i | "j" -> j | _ -> raise Not_found) s
+      then found := true
+    done
+  done;
+  not !found
+
+let prop_emptiness_exact =
+  QCheck.Test.make ~name:"is_empty agrees with brute force" ~count:500
+    (QCheck.make random_set) (fun s -> Feasible.is_empty s = brute_force_empty s)
+
+let prop_min_is_attained =
+  QCheck.Test.make ~name:"min_of is attained and minimal" ~count:300
+    (QCheck.make random_set) (fun s ->
+      let obj = Linexpr.add (v "i") (Linexpr.term (-2) "j") in
+      match Feasible.min_of obj s with
+      | None -> Feasible.is_empty s
+      | Some m ->
+          let values =
+            List.map
+              (fun pt ->
+                match pt with
+                | [ i; j ] ->
+                    Linexpr.eval
+                      (function "i" -> i | "j" -> j | _ -> raise Not_found)
+                      obj
+                | _ -> assert false)
+              (Feasible.enumerate s)
+          in
+          (* projection bound is sound (<= all values); exact on this
+             unit-coefficient objective *)
+          values <> [] && List.for_all (fun x -> m <= x) values)
+
+let () =
+  Alcotest.run "feasible"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic emptiness" `Quick test_emptiness_basic;
+          Alcotest.test_case "GCD emptiness" `Quick test_emptiness_gcd;
+          Alcotest.test_case "combined emptiness" `Quick
+            test_emptiness_needs_combination;
+          Alcotest.test_case "enumeration" `Quick test_enumerate;
+          Alcotest.test_case "triangular enumeration" `Quick test_enumerate_triangle;
+          Alcotest.test_case "sampling" `Quick test_sample;
+          Alcotest.test_case "optimization" `Quick test_min_max;
+          Alcotest.test_case "optimization over empty" `Quick test_min_max_empty;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_emptiness_exact; prop_min_is_attained ] );
+    ]

@@ -1,0 +1,191 @@
+(* End-to-end tests through the public Pom facade: every framework on every
+   workload family, with the paper's qualitative orderings checked and
+   schedules validated on the functional simulator. *)
+
+open Pom_workloads
+
+let compile fw func = Pom.compile ~framework:fw func
+
+let test_all_frameworks_run () =
+  let func () = Polybench.gemm 256 in
+  List.iter
+    (fun fw ->
+      let c = compile fw (func ()) in
+      Alcotest.(check bool) "latency positive" true
+        (c.Pom.report.Pom_hls.Report.latency > 0);
+      Alcotest.(check bool) "hls c generated" true
+        (String.length c.Pom.hls_c > 100))
+    [ `Baseline; `Pluto; `Polsca; `Scalehls; `Pom_manual; `Pom_auto ]
+
+let test_paper_ordering_gemm () =
+  (* baseline <= pluto ~ polsca << scalehls ~ pom *)
+  let s fw = Pom.speedup (compile fw (Polybench.gemm 1024)) in
+  let polsca = s `Polsca and scalehls = s `Scalehls and pom = s `Pom_auto in
+  Alcotest.(check bool) "polsca modest" true (polsca < 10.0);
+  Alcotest.(check bool) "pom >> polsca" true (pom > 10.0 *. polsca);
+  Alcotest.(check bool) "pom >= scalehls" true (pom >= scalehls)
+
+let test_paper_ordering_bicg () =
+  (* the motivating example: POM clearly ahead of everyone *)
+  let s fw = Pom.speedup (compile fw (Polybench.bicg 1024)) in
+  let pom = s `Pom_auto in
+  Alcotest.(check bool) "pom > scalehls" true (pom > s `Scalehls);
+  Alcotest.(check bool) "pom > polsca" true (pom > s `Polsca);
+  Alcotest.(check bool) "pom > 50x" true (pom > 50.0)
+
+let test_stencil_only_pom_improves () =
+  let seidel () = Polybench.seidel ~tsteps:8 512 in
+  let pom = Pom.speedup (compile `Pom_auto (seidel ())) in
+  let scalehls = Pom.speedup (compile `Scalehls (seidel ())) in
+  Alcotest.(check bool) "pom improves seidel" true (pom > 20.0);
+  Alcotest.(check bool) "scalehls trails pom" true (scalehls < pom)
+
+let test_all_schedules_validate () =
+  (* every framework's output is functionally equivalent to the
+     specification (small sizes, simulator) *)
+  let cases =
+    [
+      ("gemm", Polybench.gemm 8);
+      ("bicg", Polybench.bicg 8);
+      ("gesummv", Polybench.gesummv 8);
+      ("2mm", Polybench.mm2 6);
+      ("jacobi-1d", Polybench.jacobi1d ~tsteps:3 12);
+      ("seidel", Polybench.seidel ~tsteps:2 10);
+      ("blur", Image.blur 10);
+      ("gaussian", Image.gaussian 10);
+      ("edge-detect", Image.edge_detect 10);
+      ("atax", Polybench.atax 8);
+      ("mvt", Polybench.mvt 8);
+      ("syrk", Polybench.syrk 8);
+      ("trmm", Polybench.trmm 8);
+      ("doitgen", Polybench.doitgen ~np:4 6);
+    ]
+  in
+  List.iter
+    (fun (name, func) ->
+      List.iter
+        (fun (fwname, fw) ->
+          let c = Pom.compile ~framework:fw func in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s via %s" name fwname)
+            0.0 (Pom.validate func c))
+        [
+          ("baseline", `Baseline);
+          ("pluto", `Pluto);
+          ("polsca", `Polsca);
+          ("scalehls", `Scalehls);
+          ("pom", `Pom_auto);
+        ])
+    cases
+
+let test_resource_constraint_sweep () =
+  (* Fig. 11: smaller budgets give designs that still fit and never get
+     faster *)
+  let prev_latency = ref 0 in
+  List.iter
+    (fun frac ->
+      let device = Pom.Hls.Device.scale frac Pom.Hls.Device.xc7z020 in
+      let c =
+        Pom.compile ~device ~framework:`Pom_auto (Polybench.mm2 1024)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "fits at %.0f%%" (100.0 *. frac))
+        true
+        (Pom.Hls.Resource.fits device c.Pom.report.Pom_hls.Report.usage);
+      Alcotest.(check bool) "monotone latency" true
+        (!prev_latency = 0 || c.Pom.report.Pom_hls.Report.latency <= !prev_latency);
+      prev_latency := c.Pom.report.Pom_hls.Report.latency)
+    [ 0.25; 0.5; 0.75; 1.0 ]
+
+let test_dnn_reuse_vs_dataflow () =
+  let pom = Pom.compile ~framework:`Pom_auto ~dnn:true (Dnn.resnet18 ()) in
+  let shls = Pom.compile ~framework:`Scalehls ~dnn:true (Dnn.resnet18 ()) in
+  Alcotest.(check bool) "pom feasible" true pom.Pom.report.Pom_hls.Report.feasible;
+  Alcotest.(check bool) "pom faster" true (Pom.speedup pom > Pom.speedup shls);
+  Alcotest.(check bool) "pom uses fewer DSPs" true
+    (pom.Pom.report.Pom_hls.Report.usage.Pom_hls.Resource.dsp
+    < shls.Pom.report.Pom_hls.Report.usage.Pom_hls.Resource.dsp)
+
+let test_dse_faster_than_scalehls_search () =
+  (* Table III: POM's bottleneck-oriented DSE needs fewer QoR evaluations
+     than ScaleHLS's dense-ladder greedy search (the deterministic
+     counterpart of the DSE-time column) *)
+  let pom =
+    Pom.Dse.Engine.run (Polybench.mm3 2048)
+  in
+  let shls = Pom.Baselines.Scalehls.run (Polybench.mm3 2048) in
+  Alcotest.(check bool) "pom needs fewer evaluations" true
+    (pom.Pom.Dse.Engine.result.Pom.Dse.Stage2.evaluations
+    <= shls.Pom.Baselines.Scalehls.evaluations)
+
+let test_legality_of_compiled_schedules () =
+  List.iter
+    (fun (name, func) ->
+      let c = Pom.compile ~framework:`Pom_auto func in
+      Alcotest.(check (list pass))
+        (name ^ " legality")
+        []
+        (Pom.check_legality func c))
+    [
+      ("gemm", Polybench.gemm 64);
+      ("bicg", Polybench.bicg 64);
+      ("trmm", Polybench.trmm 16);
+      ("seidel", Polybench.seidel ~tsteps:4 16);
+    ]
+
+let test_dtype_customization () =
+  (* narrower types buy strictly more parallelism on the same device *)
+  let par dt =
+    let c = Pom.compile ~framework:`Pom_auto (Polybench.gemm_typed dt 1024) in
+    c.Pom.report.Pom_hls.Report.parallelism
+  in
+  Alcotest.(check bool) "int16 >= float" true
+    (par Pom.Dsl.Dtype.p_int16 >= par Pom.Dsl.Dtype.p_float32);
+  Alcotest.(check bool) "float >= double" true
+    (par Pom.Dsl.Dtype.p_float32 >= par Pom.Dsl.Dtype.p_float64)
+
+let test_timeline_renders () =
+  let c = Pom.compile ~framework:`Pom_auto (Polybench.bicg 8) in
+  let s = Pom.Hls.Timeline.render ~max_instances:6 c.Pom.prog in
+  Alcotest.(check bool) "non-empty" true (String.length s > 40);
+  Alcotest.(check bool) "has bars" true (String.contains s '#')
+
+let test_loc_comparison () =
+  (* Fig. 15: DSL is several times shorter than the generated HLS C *)
+  List.iter
+    (fun func ->
+      let c = Pom.compile ~framework:`Pom_auto func in
+      let hls_loc = Pom.Emit.Emit.loc c.Pom.hls_c in
+      let dsl_loc = Pom.Dsl.Func.loc_auto func in
+      Alcotest.(check bool)
+        (Pom.Dsl.Func.name func ^ " DSL much shorter")
+        true
+        (hls_loc > 2 * dsl_loc))
+    [ Polybench.mm3 64; Polybench.gemm 64 ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "all frameworks run" `Quick test_all_frameworks_run;
+          Alcotest.test_case "gemm ordering" `Quick test_paper_ordering_gemm;
+          Alcotest.test_case "bicg ordering" `Quick test_paper_ordering_bicg;
+          Alcotest.test_case "stencil: only POM improves" `Quick
+            test_stencil_only_pom_improves;
+          Alcotest.test_case "all schedules validate" `Slow
+            test_all_schedules_validate;
+          Alcotest.test_case "resource sweep (Fig. 11)" `Quick
+            test_resource_constraint_sweep;
+          Alcotest.test_case "DNN reuse vs dataflow" `Slow
+            test_dnn_reuse_vs_dataflow;
+          Alcotest.test_case "DSE time vs ScaleHLS" `Quick
+            test_dse_faster_than_scalehls_search;
+          Alcotest.test_case "LoC comparison (Fig. 15)" `Quick test_loc_comparison;
+          Alcotest.test_case "compiled schedules are legal" `Slow
+            test_legality_of_compiled_schedules;
+          Alcotest.test_case "data-type customization" `Quick
+            test_dtype_customization;
+          Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
+        ] );
+    ]

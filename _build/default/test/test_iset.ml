@@ -1,0 +1,71 @@
+open Pom_poly
+
+let v = Linexpr.var
+
+let c = Linexpr.const
+
+let interval d lo hi =
+  Basic_set.make [ d ] [ Constr.ge (v d) (c lo); Constr.le (v d) (c hi) ]
+
+let test_union_membership () =
+  let u = Iset.union (Iset.of_basic (interval "i" 0 2)) (Iset.of_basic (interval "i" 5 7)) in
+  let env x = function "i" -> x | _ -> raise Not_found in
+  Alcotest.(check bool) "in first" true (Iset.mem (env 1) u);
+  Alcotest.(check bool) "in gap" false (Iset.mem (env 3) u);
+  Alcotest.(check bool) "in second" true (Iset.mem (env 6) u)
+
+let test_intersect_distributes () =
+  let u = Iset.union (Iset.of_basic (interval "i" 0 4)) (Iset.of_basic (interval "i" 8 10)) in
+  let w = Iset.of_basic (interval "i" 3 9) in
+  let both = Iset.intersect u w in
+  let env x = function "i" -> x | _ -> raise Not_found in
+  Alcotest.(check bool) "3 in" true (Iset.mem (env 3) both);
+  Alcotest.(check bool) "5 out" false (Iset.mem (env 5) both);
+  Alcotest.(check bool) "8 in" true (Iset.mem (env 8) both);
+  Alcotest.(check int) "two disjuncts" 2 (List.length (Iset.disjuncts both))
+
+let test_empty_coalesce () =
+  let u =
+    Iset.union
+      (Iset.of_basic (interval "i" 5 2)) (* empty *)
+      (Iset.of_basic (interval "i" 0 1))
+  in
+  Alcotest.(check bool) "not empty" false (Iset.is_empty u);
+  Alcotest.(check int) "coalesced to one disjunct" 1
+    (List.length (Iset.disjuncts (Iset.coalesce u)));
+  Alcotest.(check bool) "all-empty union is empty" true
+    (Iset.is_empty (Iset.of_basic (interval "i" 5 2)))
+
+let test_min_max_over_union () =
+  let u = Iset.union (Iset.of_basic (interval "i" 2 4)) (Iset.of_basic (interval "i" 9 11)) in
+  Alcotest.(check (option int)) "min" (Some 2) (Iset.min_of (v "i") u);
+  Alcotest.(check (option int)) "max" (Some 11) (Iset.max_of (v "i") u)
+
+let test_space_check () =
+  Alcotest.check_raises "different spaces"
+    (Invalid_argument "Iset.union: dimension tuples differ") (fun () ->
+      ignore (Iset.union (Iset.of_basic (interval "i" 0 1)) (Iset.of_basic (interval "j" 0 1))))
+
+let test_project () =
+  let b =
+    Basic_set.make [ "i"; "j" ]
+      [ Constr.ge (v "i") (c 0); Constr.le (v "i") (c 3);
+        Constr.eq (v "j") (Linexpr.add (v "i") (c 10)) ]
+  in
+  let p = Iset.project_onto [ "j" ] (Iset.of_basic b) in
+  Alcotest.(check (option int)) "projected min" (Some 10) (Iset.min_of (v "j") p);
+  Alcotest.(check (option int)) "projected max" (Some 13) (Iset.max_of (v "j") p)
+
+let () =
+  Alcotest.run "iset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "union membership" `Quick test_union_membership;
+          Alcotest.test_case "intersection distributes" `Quick test_intersect_distributes;
+          Alcotest.test_case "emptiness and coalescing" `Quick test_empty_coalesce;
+          Alcotest.test_case "optimization over union" `Quick test_min_max_over_union;
+          Alcotest.test_case "space checking" `Quick test_space_check;
+          Alcotest.test_case "projection" `Quick test_project;
+        ] );
+    ]

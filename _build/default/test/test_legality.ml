@@ -1,0 +1,143 @@
+open Pom_dsl
+open Pom_polyir
+open Pom_workloads
+
+let structural func =
+  List.fold_left Prog.apply
+    (Prog.of_func_unscheduled func)
+    (List.filter
+       (fun d ->
+         match (d : Schedule.t) with
+         | Schedule.After _ | Schedule.Fuse _ -> true
+         | _ -> false)
+       (Func.directives func))
+
+let check func prog = Legality.is_legal ~original:(structural func) ~transformed:prog
+
+let test_identity_legal () =
+  let f = Polybench.gemm 8 in
+  Alcotest.(check bool) "identity" true (check f (structural f))
+
+let test_safe_interchange_legal () =
+  let f = Polybench.gemm 8 in
+  Func.schedule f (Schedule.interchange "s" "i" "k");
+  Alcotest.(check bool) "reduction rotation" true (check f (Prog.of_func f))
+
+let test_tiling_legal () =
+  let f = Polybench.gemm 8 in
+  Func.schedule f (Schedule.tile "s" "i" "j" 2 2 "i0" "j0" "i1" "j1");
+  Alcotest.(check bool) "tiling" true (check f (Prog.of_func f))
+
+let test_skew_legal () =
+  let f = Polybench.seidel ~tsteps:3 10 in
+  Func.schedule f (Schedule.skew "s" "i" "j" 2 1 "is" "js");
+  Func.schedule f (Schedule.interchange "s" "is" "js");
+  Alcotest.(check bool) "skew + interchange" true (check f (Prog.of_func f))
+
+let test_illegal_stencil_interchange () =
+  (* moving the time loop inside a space loop of an in-place stencil
+     reverses dependences *)
+  let f = Polybench.seidel ~tsteps:3 10 in
+  Func.schedule f (Schedule.interchange "s" "t" "j");
+  Alcotest.(check bool) "caught" false (check f (Prog.of_func f));
+  let vs =
+    Legality.violations ~original:(structural (Polybench.seidel ~tsteps:3 10))
+      ~transformed:(Prog.of_func f)
+  in
+  Alcotest.(check bool) "reports RAW on A" true
+    (List.exists
+       (fun (v : Legality.violation) ->
+         v.Legality.kind = `Raw && v.Legality.array = "A")
+       vs)
+
+let test_illegal_distribution () =
+  (* dropping the ping-pong fusion changes the interleaving *)
+  let f = Polybench.jacobi1d ~tsteps:3 10 in
+  Alcotest.(check bool) "caught" false (check f (Prog.of_func_unscheduled f))
+
+let test_bicg_distribution_legal () =
+  (* BICG's two statements are independent: dropping their fusion is fine *)
+  let f = Polybench.bicg 8 in
+  Alcotest.(check bool) "independent statements distribute" true
+    (check f (Prog.of_func_unscheduled f))
+
+let test_reversal_legality () =
+  (* reversing gemm's parallel j loop is legal: no dependence runs along
+     it *)
+  let f = Polybench.gemm 8 in
+  Func.schedule f (Schedule.reverse "s" "j" "jr");
+  Alcotest.(check bool) "free-loop reversal legal" true (check f (Prog.of_func f));
+  (* reversing the reduction loop k flips the accumulation chain *)
+  let g = Polybench.gemm 8 in
+  Func.schedule g (Schedule.reverse "s" "k" "kr");
+  Alcotest.(check bool) "reduction reversal caught" false
+    (check g (Prog.of_func g));
+  (* reversing a stencil's space loop flips the in-sweep dependence *)
+  let h = Polybench.seidel ~tsteps:3 10 in
+  Func.schedule h (Schedule.reverse "s" "j" "jr");
+  Alcotest.(check bool) "stencil reversal caught" false
+    (check h (Prog.of_func h))
+
+let test_dse_outputs_legal () =
+  List.iter
+    (fun func ->
+      let o = Pom_dse.Engine.run func in
+      Alcotest.(check bool)
+        (Func.name func ^ " DSE schedule is legal")
+        true
+        (check func o.Pom_dse.Engine.result.Pom_dse.Stage2.prog))
+    [
+      Polybench.gemm 8;
+      Polybench.bicg 8;
+      Polybench.gesummv 8;
+      Polybench.mm2 6;
+      Polybench.jacobi1d ~tsteps:3 12;
+      Polybench.seidel ~tsteps:2 10;
+      Image.blur 10;
+    ]
+
+(* agreement: on random small schedules, the polyhedral verdict matches
+   the simulator's (legal => divergence 0; we only check that direction,
+   since an illegal interleaving can still compute equal values) *)
+let sched_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 3) (oneofl [ `Swap01; `Swap12; `Swap02 ]))
+
+let prop_legal_implies_equivalent =
+  QCheck.Test.make ~name:"legal schedules are semantically equivalent" ~count:30
+    (QCheck.make sched_gen) (fun steps ->
+      let f = Polybench.seidel ~tsteps:2 8 in
+      List.iter
+        (fun step ->
+          let prog = Prog.of_func f in
+          let order = Stmt_poly.loop_order (Prog.stmt prog "s") in
+          let d k = List.nth order k in
+          match step with
+          | `Swap01 -> Func.schedule f (Schedule.interchange "s" (d 0) (d 1))
+          | `Swap12 -> Func.schedule f (Schedule.interchange "s" (d 1) (d 2))
+          | `Swap02 -> Func.schedule f (Schedule.interchange "s" (d 0) (d 2)))
+        steps;
+      let prog = Prog.of_func f in
+      (not (check f prog)) || Pom_sim.Interp.divergence f prog = 0.0)
+
+let () =
+  Alcotest.run "legality"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "identity" `Quick test_identity_legal;
+          Alcotest.test_case "safe interchange" `Quick test_safe_interchange_legal;
+          Alcotest.test_case "tiling" `Quick test_tiling_legal;
+          Alcotest.test_case "skewing" `Quick test_skew_legal;
+          Alcotest.test_case "illegal stencil interchange" `Quick
+            test_illegal_stencil_interchange;
+          Alcotest.test_case "illegal distribution" `Quick test_illegal_distribution;
+          Alcotest.test_case "independent distribution" `Quick
+            test_bicg_distribution_legal;
+          Alcotest.test_case "loop reversal legality" `Quick
+            test_reversal_legality;
+          Alcotest.test_case "DSE outputs are legal" `Slow test_dse_outputs_legal;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_legal_implies_equivalent ] );
+    ]

@@ -1,0 +1,102 @@
+open Pom_poly
+
+let v = Linexpr.var
+
+let c = Linexpr.const
+
+let check_expr msg expected actual =
+  Alcotest.(check string) msg expected (Linexpr.to_string actual)
+
+let test_constructors () =
+  check_expr "zero" "0" Linexpr.zero;
+  check_expr "const" "7" (c 7);
+  check_expr "neg const" "-3" (c (-3));
+  check_expr "var" "i" (v "i");
+  check_expr "term" "4i" (Linexpr.term 4 "i");
+  check_expr "zero term vanishes" "0" (Linexpr.term 0 "i")
+
+let test_arith () =
+  check_expr "add" "i + j" (Linexpr.add (v "i") (v "j"));
+  check_expr "add const" "i + 3" (Linexpr.add (v "i") (c 3));
+  check_expr "sub cancels" "0" (Linexpr.sub (v "i") (v "i"));
+  check_expr "scale" "6i + 2" (Linexpr.scale 2 (Linexpr.add (Linexpr.term 3 "i") (c 1)));
+  check_expr "scale by zero" "0" (Linexpr.scale 0 (Linexpr.add (v "i") (c 5)));
+  check_expr "neg" "-i - 1" (Linexpr.neg (Linexpr.add (v "i") (c 1)))
+
+let test_coeff_access () =
+  let e = Linexpr.add (Linexpr.term 3 "i") (Linexpr.add (Linexpr.term (-2) "j") (c 5)) in
+  Alcotest.(check int) "coeff i" 3 (Linexpr.coeff e "i");
+  Alcotest.(check int) "coeff j" (-2) (Linexpr.coeff e "j");
+  Alcotest.(check int) "coeff absent" 0 (Linexpr.coeff e "k");
+  Alcotest.(check int) "const" 5 (Linexpr.const_of e);
+  Alcotest.(check (list string)) "dims" [ "i"; "j" ] (Linexpr.dims e);
+  Alcotest.(check bool) "not const" false (Linexpr.is_const e);
+  Alcotest.(check bool) "const is const" true (Linexpr.is_const (c 9))
+
+let test_subst () =
+  (* i := 2k + 1 in 3i + j *)
+  let e = Linexpr.add (Linexpr.term 3 "i") (v "j") in
+  let repl = Linexpr.add (Linexpr.term 2 "k") (c 1) in
+  check_expr "subst" "j + 6k + 3" (Linexpr.subst "i" repl e);
+  check_expr "subst absent dim" "3i + j" (Linexpr.subst "z" repl e)
+
+let test_subst_all_simultaneous () =
+  (* swap i and j simultaneously: must not cascade *)
+  let e = Linexpr.add (v "i") (Linexpr.term 2 "j") in
+  let swapped = Linexpr.subst_all [ ("i", v "j"); ("j", v "i") ] e in
+  check_expr "swap" "2i + j" swapped
+
+let test_rename () =
+  let e = Linexpr.add (Linexpr.term 2 "i") (v "j") in
+  check_expr "rename" "j + 2x" (Linexpr.rename_dim "i" "x" e)
+
+let test_eval () =
+  let e = Linexpr.add (Linexpr.term 3 "i") (Linexpr.add (Linexpr.term (-1) "j") (c 10)) in
+  let env = function "i" -> 2 | "j" -> 5 | _ -> raise Not_found in
+  Alcotest.(check int) "eval" 11 (Linexpr.eval env e)
+
+let test_content_div () =
+  let e = Linexpr.add (Linexpr.term 6 "i") (Linexpr.add (Linexpr.term 9 "j") (c 12)) in
+  Alcotest.(check int) "content" 3 (Linexpr.content e);
+  check_expr "div exact" "2i + 3j + 4" (Linexpr.div_exact 3 e);
+  Alcotest.check_raises "div not exact" (Invalid_argument "Linexpr.div_exact: not divisible")
+    (fun () -> ignore (Linexpr.div_exact 4 e))
+
+let test_compare () =
+  Alcotest.(check bool) "equal" true (Linexpr.equal (Linexpr.add (v "i") (c 1)) (Linexpr.add (c 1) (v "i")));
+  Alcotest.(check bool) "not equal" false (Linexpr.equal (v "i") (v "j"))
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:200
+    QCheck.(pair (pair small_int small_int) (pair small_int small_int))
+    (fun ((a, b), (c', d)) ->
+      let open Linexpr in
+      let e1 = add (term a "i") (const b) and e2 = add (term c' "j") (const d) in
+      equal (add e1 e2) (add e2 e1))
+
+let prop_eval_linear =
+  QCheck.Test.make ~name:"eval is linear in scaling" ~count:200
+    QCheck.(triple (int_range (-20) 20) (int_range (-50) 50) (int_range (-50) 50))
+    (fun (k, ci, cst) ->
+      let e = Linexpr.add (Linexpr.term ci "i") (Linexpr.const cst) in
+      let env = function "i" -> 7 | _ -> raise Not_found in
+      Linexpr.eval env (Linexpr.scale k e) = k * Linexpr.eval env e)
+
+let () =
+  Alcotest.run "linexpr"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constructors" `Quick test_constructors;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "coefficient access" `Quick test_coeff_access;
+          Alcotest.test_case "substitution" `Quick test_subst;
+          Alcotest.test_case "simultaneous substitution" `Quick test_subst_all_simultaneous;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "content and exact division" `Quick test_content_div;
+          Alcotest.test_case "comparison" `Quick test_compare;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_add_commutes; prop_eval_linear ] );
+    ]

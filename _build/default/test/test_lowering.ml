@@ -1,0 +1,120 @@
+open Pom_dsl
+open Pom_polyir
+open Pom_affine
+open Expr
+
+let f32 = Dtype.p_float32
+
+let gemm_func n =
+  let f = Func.create "gemm" in
+  let i = Var.make "i" 0 n and j = Var.make "j" 0 n and k = Var.make "k" 0 n in
+  let d = Placeholder.make "D" [ n; n ] f32 in
+  let a = Placeholder.make "A" [ n; n ] f32 in
+  let b = Placeholder.make "B" [ n; n ] f32 in
+  ignore
+    (Func.compute f "s" ~iters:[ k; i; j ]
+       ~body:
+         (access d [ ix i; ix j ]
+         +: (access a [ ix i; ix k ] *: access b [ ix k; ix j ]))
+       ~dest:(d, [ ix i; ix j ]) ());
+  f
+
+let rec count_fors = function
+  | Ir.For { body; _ } -> 1 + List.fold_left (fun a n -> a + count_fors n) 0 body
+  | Ir.If (_, body) -> List.fold_left (fun a n -> a + count_fors n) 0 body
+  | Ir.Op _ -> 0
+
+let rec find_for_with_attr pred = function
+  | Ir.For { attrs; body; _ } as f ->
+      if pred attrs then Some f
+      else List.find_map (find_for_with_attr pred) body
+  | Ir.If (_, body) -> List.find_map (find_for_with_attr pred) body
+  | Ir.Op _ -> None
+
+let test_lower_plain () =
+  let func = gemm_func 8 in
+  let af = Lower.lower (Prog.of_func func) in
+  Alcotest.(check string) "function name" "gemm" af.Ir.name;
+  Alcotest.(check int) "three loops"
+    3
+    (List.fold_left (fun a n -> a + count_fors n) 0 af.Ir.body);
+  Alcotest.(check int) "one statement" 1 (List.length (Ir.stmts af.Ir.body));
+  Alcotest.(check int) "three arrays" 3 (List.length af.Ir.arrays)
+
+let test_attrs_propagate () =
+  let func = gemm_func 8 in
+  Func.schedule func (Schedule.pipeline "s" "i" 1);
+  Func.schedule func (Schedule.unroll "s" "j" 4);
+  let af = Lower.lower (Prog.of_func func) in
+  let pipelined =
+    List.find_map
+      (find_for_with_attr (fun a -> a.Ir.pipeline_ii = Some 1))
+      af.Ir.body
+  in
+  Alcotest.(check bool) "pipeline attr present" true (pipelined <> None);
+  let unrolled =
+    List.find_map
+      (find_for_with_attr (fun a -> a.Ir.unroll_factor = Some 4))
+      af.Ir.body
+  in
+  Alcotest.(check bool) "unroll attr present" true (unrolled <> None)
+
+let test_partition_info () =
+  let func = gemm_func 8 in
+  Func.schedule func (Schedule.partition "A" [ 2; 4 ] Schedule.Cyclic);
+  let af = Lower.lower (Prog.of_func func) in
+  let a_info =
+    List.find
+      (fun (i : Ir.array_info) -> i.Ir.placeholder.Placeholder.name = "A")
+      af.Ir.arrays
+  in
+  Alcotest.(check (list int)) "partition factors" [ 2; 4 ] a_info.Ir.partition
+
+let test_index_rewrite_after_split () =
+  let func = gemm_func 8 in
+  Func.schedule func (Schedule.split "s" "j" 4 "j0" "j1");
+  let af = Lower.lower (Prog.of_func func) in
+  match Ir.stmts af.Ir.body with
+  | [ s ] ->
+      (* the store index for j must read 4*j0 + j1 in AST iterators *)
+      let _, dest_ixs = s.Ir.dest in
+      let j_ix = List.nth dest_ixs 1 in
+      let open Pom_poly in
+      let le = Expr.index_to_linexpr j_ix in
+      let coeffs = List.map (fun d -> Linexpr.coeff le d) (Linexpr.dims le) in
+      Alcotest.(check (list int)) "coefficients 1 and 4" [ 1; 4 ]
+        (List.sort compare coeffs)
+  | _ -> Alcotest.fail "expected one statement"
+
+let test_const_extent () =
+  let func = gemm_func 8 in
+  let af = Lower.lower (Prog.of_func func) in
+  match af.Ir.body with
+  | [ (Ir.For _ as f) ] ->
+      Alcotest.(check (option int)) "outer extent" (Some 8) (Ir.const_extent f)
+  | _ -> Alcotest.fail "expected one outer loop"
+
+let test_index_of_linexpr_roundtrip () =
+  let open Pom_poly in
+  let e =
+    Linexpr.add (Linexpr.term 3 "x") (Linexpr.add (Linexpr.term (-2) "y") (Linexpr.const 7))
+  in
+  let ix = Lower.index_of_linexpr e in
+  Alcotest.(check bool) "roundtrip" true
+    (Linexpr.equal e (Expr.index_to_linexpr ix))
+
+let () =
+  Alcotest.run "lowering"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "plain lowering" `Quick test_lower_plain;
+          Alcotest.test_case "attributes propagate" `Quick test_attrs_propagate;
+          Alcotest.test_case "partition info" `Quick test_partition_info;
+          Alcotest.test_case "index rewrite after split" `Quick
+            test_index_rewrite_after_split;
+          Alcotest.test_case "const extent" `Quick test_const_extent;
+          Alcotest.test_case "linexpr/index roundtrip" `Quick
+            test_index_of_linexpr_roundtrip;
+        ] );
+    ]

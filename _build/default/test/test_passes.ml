@@ -1,0 +1,101 @@
+open Pom_poly
+open Pom_affine
+
+let v = Linexpr.var
+
+let c k = Linexpr.const k
+
+let dummy_stmt =
+  let p = Pom_dsl.Placeholder.make "A" [ 8 ] Pom_dsl.Dtype.p_float32 in
+  {
+    Ir.compute_name = "s";
+    dest = (p, [ Pom_dsl.Expr.Ix_var "i" ]);
+    rhs = Pom_dsl.Expr.Fconst 1.0;
+  }
+
+let for_ iter body =
+  Ir.For
+    {
+      iter;
+      lbs = [ Ast.bound 1 (c 0) ];
+      ubs = [ Ast.bound 1 (c 7) ];
+      attrs = Ir.no_attrs;
+      body;
+    }
+
+let func body = { Ir.name = "f"; arrays = []; body }
+
+let test_merge_nested_ifs () =
+  let g1 = [ Constr.Ge (v "x") ] and g2 = [ Constr.Ge (v "y") ] in
+  match Passes.merge_guards [ Ir.If (g1, [ Ir.If (g2, [ Ir.Op dummy_stmt ]) ]) ] with
+  | [ Ir.If (gs, [ Ir.Op _ ]) ] ->
+      Alcotest.(check int) "merged conjunction" 2 (List.length gs)
+  | _ -> Alcotest.fail "expected one flattened if"
+
+let test_hoist_invariant_guard () =
+  (* for i { if (j >= 1 and i >= 2) S } : the j conjunct moves out *)
+  let guards = [ Constr.Ge (Linexpr.sub (v "j") (c 1)); Constr.Ge (Linexpr.sub (v "i") (c 2)) ] in
+  match Passes.hoist_guards [ for_ "i" [ Ir.If (guards, [ Ir.Op dummy_stmt ]) ] ] with
+  | [ Ir.If ([ inv ], [ Ir.For { body = [ Ir.If ([ dep ], _) ]; _ } ]) ] ->
+      Alcotest.(check (list string)) "invariant mentions j" [ "j" ] (Constr.dims inv);
+      Alcotest.(check (list string)) "dependent mentions i" [ "i" ] (Constr.dims dep)
+  | _ -> Alcotest.fail "expected hoisted structure"
+
+let test_hoist_fully_invariant () =
+  let guards = [ Constr.Ge (v "j") ] in
+  match Passes.hoist_guards [ for_ "i" [ Ir.If (guards, [ Ir.Op dummy_stmt ]) ] ] with
+  | [ Ir.If (_, [ Ir.For { body = [ Ir.Op _ ]; _ } ]) ] -> ()
+  | _ -> Alcotest.fail "guard should wrap the loop"
+
+let test_drop_tautologies () =
+  let f =
+    Passes.simplify
+      (func [ Ir.If ([ Constr.Ge (c 3) ], [ Ir.Op dummy_stmt ]) ])
+  in
+  match f.Ir.body with
+  | [ Ir.Op _ ] -> ()
+  | _ -> Alcotest.fail "tautological guard should vanish"
+
+let test_simplify_preserves_semantics () =
+  (* fused statements with different domains produce leaf guards; the
+     simplified program must execute identically *)
+  let open Pom_dsl in
+  let fn = Func.create "g" in
+  let a = Placeholder.make "A" [ 16 ] Dtype.p_float32 in
+  let b = Placeholder.make "B" [ 16 ] Dtype.p_float32 in
+  let i1 = Var.make "i" 0 12 and i2 = Var.make "i" 4 16 in
+  let open Expr in
+  ignore
+    (Func.compute fn "s1" ~iters:[ i1 ]
+       ~body:(access a [ ix i1 ] +: fconst 1.0)
+       ~dest:(a, [ ix i1 ]) ());
+  ignore
+    (Func.compute fn "s2" ~iters:[ i2 ]
+       ~body:(access b [ ix i2 ] +: fconst 2.0)
+       ~dest:(b, [ ix i2 ]) ());
+  Func.schedule fn (Schedule.fuse "s1" "s2" ~level:1);
+  let prog = Pom_polyir.Prog.of_func fn in
+  let plain = Lower.lower prog in
+  let simplified = Passes.simplify plain in
+  let ps = Func.placeholders fn in
+  let m1 = Pom_sim.Memory.create ps in
+  let m2 = Pom_sim.Memory.copy m1 in
+  Pom_sim.Interp.run_affine plain m1;
+  Pom_sim.Interp.run_affine simplified m2;
+  Alcotest.(check (float 0.0)) "same result" 0.0 (Pom_sim.Memory.max_diff m1 m2)
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "merge nested ifs" `Quick test_merge_nested_ifs;
+          Alcotest.test_case "hoist invariant conjunct" `Quick
+            test_hoist_invariant_guard;
+          Alcotest.test_case "hoist fully invariant guard" `Quick
+            test_hoist_fully_invariant;
+          Alcotest.test_case "drop tautologies" `Quick test_drop_tautologies;
+          Alcotest.test_case "simplify preserves semantics" `Quick
+            test_simplify_preserves_semantics;
+        ] );
+    ]

@@ -1,0 +1,71 @@
+open Pom_poly
+
+let test_initial () =
+  let s = Sched.initial [ "i"; "j" ] in
+  Alcotest.(check string) "2d+1 form" "[0, i, 0, j, 0]" (Sched.to_string s);
+  Alcotest.(check int) "depth" 2 (Sched.depth s);
+  Alcotest.(check (list string)) "dims" [ "i"; "j" ] (Sched.dims s)
+
+let test_of_items_validation () =
+  Alcotest.check_raises "not alternating"
+    (Invalid_argument "Sched.of_items: not an alternating (2d+1) sequence")
+    (fun () -> ignore (Sched.of_items [ Sched.Dim "i"; Sched.Const 0 ]));
+  Alcotest.check_raises "missing trailing const"
+    (Invalid_argument "Sched.of_items: not an alternating (2d+1) sequence")
+    (fun () -> ignore (Sched.of_items [ Sched.Const 0; Sched.Dim "i" ]))
+
+let test_levels () =
+  let s = Sched.initial [ "i"; "j"; "k" ] in
+  Alcotest.(check string) "dim at 2" "j" (Sched.dim_at s 2);
+  Alcotest.(check (option int)) "level of k" (Some 3) (Sched.level_of s "k");
+  Alcotest.(check (option int)) "level of absent" None (Sched.level_of s "z")
+
+let test_consts () =
+  let s = Sched.initial [ "i"; "j" ] in
+  let s = Sched.set_const s 0 3 in
+  let s = Sched.set_const s 2 7 in
+  Alcotest.(check string) "consts set" "[3, i, 0, j, 7]" (Sched.to_string s);
+  Alcotest.(check int) "const at 0" 3 (Sched.const_at s 0);
+  Alcotest.(check int) "const at 1" 0 (Sched.const_at s 1);
+  Alcotest.(check int) "const at 2" 7 (Sched.const_at s 2)
+
+let test_swap () =
+  let s = Sched.swap_levels (Sched.initial [ "i"; "j"; "k" ]) 1 3 in
+  Alcotest.(check (list string)) "swapped" [ "k"; "j"; "i" ] (Sched.dims s)
+
+let test_replace_dim () =
+  let s =
+    Sched.replace_dim (Sched.initial [ "i"; "j" ]) "i"
+      [ Sched.Dim "i0"; Sched.Const 0; Sched.Dim "i1" ]
+  in
+  Alcotest.(check string) "strip-mined" "[0, i0, 0, i1, 0, j, 0]"
+    (Sched.to_string s);
+  Alcotest.(check int) "depth grew" 3 (Sched.depth s)
+
+let test_rename () =
+  let s = Sched.rename_dim (Sched.initial [ "i"; "j" ]) "j" "js" in
+  Alcotest.(check (list string)) "renamed" [ "i"; "js" ] (Sched.dims s)
+
+let test_lex_compare () =
+  let a = Sched.set_const (Sched.initial [ "i" ]) 0 0 in
+  let b = Sched.set_const (Sched.initial [ "i" ]) 0 1 in
+  Alcotest.(check bool) "a before b" true (Sched.lex_compare a b < 0);
+  Alcotest.(check bool) "b after a" true (Sched.lex_compare b a > 0);
+  let a1 = Sched.set_const a 1 2 in
+  Alcotest.(check bool) "inner const orders" true (Sched.lex_compare a a1 < 0)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "well-formedness" `Quick test_of_items_validation;
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "scalar constants" `Quick test_consts;
+          Alcotest.test_case "interchange" `Quick test_swap;
+          Alcotest.test_case "replace (strip-mine)" `Quick test_replace_dim;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "lexicographic order" `Quick test_lex_compare;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+open Pom_dsl
+open Pom_polyir
+open Expr
+
+let f32 = Dtype.p_float32
+
+let small_gemm n =
+  let i = Var.make "i" 0 n and j = Var.make "j" 0 n and k = Var.make "k" 0 n in
+  let d = Placeholder.make "D" [ n; n ] f32 in
+  let a = Placeholder.make "A" [ n; n ] f32 in
+  let b = Placeholder.make "B" [ n; n ] f32 in
+  Compute.make "s" ~iters:[ i; j; k ]
+    ~body:(access d [ ix i; ix j ] +: (access a [ ix i; ix k ] *: access b [ ix k; ix j ]))
+    ~dest:(d, [ ix i; ix j ]) ()
+
+let stmt n = Stmt_poly.of_compute ~position:0 (small_gemm n)
+
+let test_interchange () =
+  let s = Transform.interchange (stmt 4) "i" "k" in
+  Alcotest.(check (list string)) "loop order" [ "k"; "j"; "i" ]
+    (Stmt_poly.loop_order s);
+  (* executed original points are unchanged *)
+  Alcotest.(check (list (list int))) "points invariant"
+    (Transform.original_points (stmt 4))
+    (Transform.original_points s)
+
+let test_split () =
+  let s = Transform.split (stmt 4) "j" 2 ~outer:"j0" ~inner:"j1" in
+  Alcotest.(check (list string)) "loop order" [ "i"; "j0"; "j1"; "k" ]
+    (Stmt_poly.loop_order s);
+  Alcotest.(check (list (list int))) "points invariant"
+    (Transform.original_points (stmt 4))
+    (Transform.original_points s);
+  (* the index map rewires j = 2*j0 + j1 *)
+  let open Pom_poly in
+  let j_expr = List.assoc "j" s.Stmt_poly.index_map in
+  Alcotest.(check int) "j0 coeff" 2 (Linexpr.coeff j_expr "j0");
+  Alcotest.(check int) "j1 coeff" 1 (Linexpr.coeff j_expr "j1")
+
+let test_split_non_divisible () =
+  (* 4 iterations split by 3: still exactly 4 executed points *)
+  let s = Transform.split (stmt 4) "i" 3 ~outer:"i0" ~inner:"i1" in
+  Alcotest.(check int) "point count" 64
+    (List.length (Transform.original_points s))
+
+let test_tile () =
+  let s = Transform.tile (stmt 4) "i" "j" 2 2 ~o1:"i0" ~o2:"j0" ~i1:"i1" ~i2:"j1" in
+  Alcotest.(check (list string)) "tiled order" [ "i0"; "j0"; "i1"; "j1"; "k" ]
+    (Stmt_poly.loop_order s);
+  Alcotest.(check (list (list int))) "points invariant"
+    (Transform.original_points (stmt 4))
+    (Transform.original_points s)
+
+let test_tile_requires_adjacent () =
+  Alcotest.(check bool) "non-adjacent rejected" true
+    (try
+       ignore (Transform.tile (stmt 4) "i" "k" 2 2 ~o1:"a" ~o2:"b" ~i1:"c" ~i2:"d");
+       false
+     with Transform.Transform_error _ -> true)
+
+let test_skew () =
+  let s = Transform.skew (stmt 4) "i" "j" 1 1 ~n1:"is" ~n2:"js" in
+  Alcotest.(check (list string)) "skewed order" [ "is"; "js"; "k" ]
+    (Stmt_poly.loop_order s);
+  Alcotest.(check (list (list int))) "points invariant"
+    (Transform.original_points (stmt 4))
+    (Transform.original_points s)
+
+let test_skew_negative_factor () =
+  let s = Transform.skew (stmt 3) "i" "j" 2 (-1) ~n1:"is" ~n2:"js" in
+  Alcotest.(check (list (list int))) "points invariant"
+    (Transform.original_points (stmt 3))
+    (Transform.original_points s)
+
+let test_reverse () =
+  let s = Transform.reverse (stmt 4) "j" ~new_dim:"jr" in
+  Alcotest.(check (list string)) "loop order" [ "i"; "jr"; "k" ]
+    (Stmt_poly.loop_order s);
+  Alcotest.(check (list (list int))) "points invariant"
+    (Transform.original_points (stmt 4))
+    (Transform.original_points s);
+  (* range preserved *)
+  Alcotest.(check (pair (option int) (option int))) "range" (Some 0, Some 3)
+    (Pom_poly.Basic_set.const_range "jr" s.Stmt_poly.domain)
+
+let test_sequence_after () =
+  let anchor = stmt 4 in
+  let s = Transform.sequence_after (stmt 4) ~anchor ~level:2 in
+  let open Pom_poly in
+  Alcotest.(check int) "const 0 shared" 0 (Sched.const_at s.Stmt_poly.sched 0);
+  Alcotest.(check int) "const at level 2 bumped" 1
+    (Sched.const_at s.Stmt_poly.sched 2)
+
+let test_hw_attrs () =
+  let s = Transform.pipeline (stmt 4) "j" 1 in
+  let s = Transform.unroll s "k" 4 in
+  (match s.Stmt_poly.hw.Stmt_poly.pipeline with
+  | Some ("j", 1) -> ()
+  | _ -> Alcotest.fail "pipeline attr");
+  Alcotest.(check (option int)) "unroll attr" (Some 4)
+    (List.assoc_opt "k" s.Stmt_poly.hw.Stmt_poly.unrolls);
+  (* splitting a dim that carries hw attributes is rejected *)
+  Alcotest.(check bool) "split of attributed dim rejected" true
+    (try
+       ignore (Transform.split s "j" 2 ~outer:"a" ~inner:"b");
+       false
+     with Transform.Transform_error _ -> true)
+
+let test_errors () =
+  Alcotest.(check bool) "unknown dim" true
+    (try
+       ignore (Transform.interchange (stmt 4) "i" "zz");
+       false
+     with Transform.Transform_error _ -> true);
+  Alcotest.(check bool) "fresh name collision" true
+    (try
+       ignore (Transform.split (stmt 4) "i" 2 ~outer:"j" ~inner:"i1");
+       false
+     with Transform.Transform_error _ -> true)
+
+(* random transformation pipelines preserve the executed point set *)
+let transform_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 4)
+      (oneof
+         [
+           return `Interchange_ij;
+           return `Interchange_jk;
+           map (fun f -> `Split_i (2 + f)) (int_range 0 2);
+           map (fun f -> `Skew_ij f) (int_range 1 3);
+         ]))
+
+let apply_step (s, n) step =
+  let fresh = Printf.sprintf "d%d" n in
+  let fresh2 = Printf.sprintf "e%d" n in
+  try
+    let order = Stmt_poly.loop_order s in
+    match step with
+    | `Interchange_ij when List.length order >= 2 ->
+        (Transform.interchange s (List.nth order 0) (List.nth order 1), n + 1)
+    | `Interchange_jk when List.length order >= 3 ->
+        (Transform.interchange s (List.nth order 1) (List.nth order 2), n + 1)
+    | `Split_i f ->
+        (Transform.split s (List.hd order) f ~outer:fresh ~inner:fresh2, n + 1)
+    | `Skew_ij f when List.length order >= 2 ->
+        ( Transform.skew s (List.nth order 0) (List.nth order 1) f 1 ~n1:fresh
+            ~n2:fresh2,
+          n + 1 )
+    | _ -> (s, n)
+  with Transform.Transform_error _ -> (s, n)
+
+let prop_points_invariant =
+  QCheck.Test.make ~name:"random transform pipelines preserve points" ~count:60
+    (QCheck.make transform_gen) (fun steps ->
+      let s0 = stmt 3 in
+      let expected = Transform.original_points s0 in
+      let s, _ = List.fold_left apply_step (s0, 0) steps in
+      Transform.original_points s = expected)
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "interchange" `Quick test_interchange;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "split non-divisible" `Quick test_split_non_divisible;
+          Alcotest.test_case "tile" `Quick test_tile;
+          Alcotest.test_case "tile adjacency" `Quick test_tile_requires_adjacent;
+          Alcotest.test_case "skew" `Quick test_skew;
+          Alcotest.test_case "skew negative factor" `Quick test_skew_negative_factor;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          Alcotest.test_case "sequence after" `Quick test_sequence_after;
+          Alcotest.test_case "hardware attributes" `Quick test_hw_attrs;
+          Alcotest.test_case "error cases" `Quick test_errors;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_points_invariant ]);
+    ]

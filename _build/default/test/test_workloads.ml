@@ -1,0 +1,172 @@
+open Pom_dsl
+open Pom_workloads
+
+let test_polybench_shapes () =
+  Alcotest.(check int) "gemm computes" 1
+    (List.length (Func.computes (Polybench.gemm 64)));
+  Alcotest.(check int) "bicg computes" 2
+    (List.length (Func.computes (Polybench.bicg 64)));
+  Alcotest.(check int) "gesummv computes" 3
+    (List.length (Func.computes (Polybench.gesummv 64)));
+  Alcotest.(check int) "2mm computes" 2
+    (List.length (Func.computes (Polybench.mm2 64)));
+  Alcotest.(check int) "3mm computes" 3
+    (List.length (Func.computes (Polybench.mm3 64)))
+
+let test_by_name_complete () =
+  Alcotest.(check int) "fourteen polybench kernels" 14
+    (List.length Polybench.by_name);
+  List.iter
+    (fun (name, build) ->
+      let f = build 64 in
+      Alcotest.(check bool)
+        (name ^ " has computes")
+        true
+        (Func.computes f <> []))
+    Polybench.by_name
+
+let test_stencils_are_structural () =
+  List.iter
+    (fun f ->
+      let has_after =
+        List.exists
+          (fun d ->
+            match d with Schedule.After _ | Schedule.Fuse _ -> true | _ -> false)
+          (Func.directives f)
+      in
+      Alcotest.(check bool)
+        (Func.name f ^ " ping-pong fusion")
+        true has_after)
+    [ Polybench.jacobi1d 64; Polybench.jacobi2d 64; Polybench.heat1d 64 ]
+
+let test_seidel_is_inplace () =
+  let f = Polybench.seidel 64 in
+  let s = Func.find_compute f "s" in
+  Alcotest.(check string) "writes A" "A" (Compute.array_written s);
+  Alcotest.(check bool) "reads A" true (List.mem "A" (Compute.arrays_read s))
+
+let test_image_kernels () =
+  Alcotest.(check int) "edge detect stages" 3
+    (List.length (Func.computes (Image.edge_detect 64)));
+  Alcotest.(check int) "gaussian single" 1
+    (List.length (Func.computes (Image.gaussian 64)));
+  Alcotest.(check int) "blur stages" 2
+    (List.length (Func.computes (Image.blur 64)));
+  (* all image kernels are 3-deep (channel, y, x) *)
+  List.iter
+    (fun (c : Compute.t) ->
+      Alcotest.(check int) "3 loops" 3 (List.length c.Compute.iters))
+    (Func.computes (Image.gaussian 64))
+
+let test_vgg16 () =
+  let f = Dnn.vgg16 () in
+  Alcotest.(check int) "13 critical loops" 13 (Dnn.critical_loops f);
+  (* 13 convs + 5 pools *)
+  Alcotest.(check int) "18 computes" 18 (List.length (Func.computes f))
+
+let test_resnet18 () =
+  let f = Dnn.resnet18 () in
+  Alcotest.(check int) "20 critical loops" 20 (Dnn.critical_loops f);
+  (* 20 convs + 8 residual adds *)
+  Alcotest.(check int) "28 computes" 28 (List.length (Func.computes f))
+
+let test_dnn_graph_is_connected_chain () =
+  let g = Pom_depgraph.Graph.build (Dnn.vgg16 ()) in
+  (* every compute except the first consumes a previous output *)
+  List.iter
+    (fun name ->
+      if name <> "conv1" then
+        Alcotest.(check bool)
+          (name ^ " has a producer")
+          true
+          (Pom_depgraph.Graph.predecessors g name <> []))
+    (Pom_depgraph.Graph.order g)
+
+let test_conv_layer_semantics () =
+  (* one tiny conv: all-ones weights and inputs, zero output, kernel 3x3,
+     1 input channel: every interior output pixel accumulates 9 *)
+  let func = Func.create "tiny" in
+  let input = Placeholder.make "in" [ 1; 6; 6 ] Dtype.p_float32 in
+  let out =
+    Dnn.conv_layer func ~input
+      { Dnn.label = "c"; in_channels = 1; out_channels = 1; spatial = 4; kernel = 3 }
+  in
+  let mem = Pom_sim.Memory.create_filled 1.0 (Func.placeholders func) in
+  (* zero the output first (it is accumulated into) *)
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      Pom_sim.Memory.set mem out.Placeholder.name [ 0; i; j ] 0.0
+    done
+  done;
+  Pom_sim.Interp.run_reference func mem;
+  Alcotest.(check (float 1e-6)) "9-point accumulation" 9.0
+    (Pom_sim.Memory.get mem out.Placeholder.name [ 0; 1; 1 ])
+
+let test_trmm_triangular_domain () =
+  let f = Polybench.trmm 8 in
+  let s = Func.find_compute f "s" in
+  Alcotest.(check bool) "has where clause" true (s.Compute.where <> []);
+  (* k > i over an 8-cube: 28 (i,k) pairs x 8 j values *)
+  Alcotest.(check int) "exact triangular count" 224 (Compute.trip_count s);
+  Alcotest.(check int) "domain agrees" 224
+    (Pom_poly.Feasible.count (Compute.domain s))
+
+let test_trmm_estimated_count_large () =
+  let f = Polybench.trmm 1024 in
+  let s = Func.find_compute f "s" in
+  (* estimate: box / 2 *)
+  Alcotest.(check int) "magnitude estimate" (1024 * 1024 * 1024 / 2)
+    (Compute.trip_count s)
+
+let test_gemm_typed () =
+  let fi = Polybench.gemm_typed Dtype.p_int16 8 in
+  let c = Func.find_compute fi "s" in
+  Alcotest.(check bool) "dtype propagates" true
+    (Dtype.equal (fst c.Compute.dest).Placeholder.dtype Dtype.p_int16)
+
+let test_new_kernels_structure () =
+  Alcotest.(check int) "atax computes" 2
+    (List.length (Func.computes (Polybench.atax 16)));
+  Alcotest.(check int) "mvt computes" 2
+    (List.length (Func.computes (Polybench.mvt 16)));
+  Alcotest.(check int) "syrk computes" 1
+    (List.length (Func.computes (Polybench.syrk 16)));
+  Alcotest.(check int) "doitgen computes" 2
+    (List.length (Func.computes (Polybench.doitgen ~np:4 8)))
+
+let test_workload_sizes_scale () =
+  (* trip counts grow with the cube for gemm *)
+  let tc n =
+    Compute.trip_count (Func.find_compute (Polybench.gemm n) "s")
+  in
+  Alcotest.(check int) "64^3" (64 * 64 * 64) (tc 64);
+  Alcotest.(check int) "scaling" (8 * tc 64) (tc 128)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "polybench",
+        [
+          Alcotest.test_case "kernel shapes" `Quick test_polybench_shapes;
+          Alcotest.test_case "registry" `Quick test_by_name_complete;
+          Alcotest.test_case "ping-pong structure" `Quick test_stencils_are_structural;
+          Alcotest.test_case "seidel in-place" `Quick test_seidel_is_inplace;
+          Alcotest.test_case "sizes scale" `Quick test_workload_sizes_scale;
+          Alcotest.test_case "trmm triangular domain" `Quick
+            test_trmm_triangular_domain;
+          Alcotest.test_case "trmm estimated count" `Quick
+            test_trmm_estimated_count_large;
+          Alcotest.test_case "typed gemm" `Quick test_gemm_typed;
+          Alcotest.test_case "new kernel structure" `Quick
+            test_new_kernels_structure;
+        ] );
+      ( "image",
+        [ Alcotest.test_case "image kernels" `Quick test_image_kernels ] );
+      ( "dnn",
+        [
+          Alcotest.test_case "vgg16 structure" `Quick test_vgg16;
+          Alcotest.test_case "resnet18 structure" `Quick test_resnet18;
+          Alcotest.test_case "dependence chain" `Quick test_dnn_graph_is_connected_chain;
+          Alcotest.test_case "conv semantics" `Quick test_conv_layer_semantics;
+        ] );
+    ]
