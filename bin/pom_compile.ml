@@ -22,7 +22,8 @@ let framework_of_string = function
   | s -> Error (`Msg ("unknown framework " ^ s))
 
 let run workload from_c size framework emit_c emit_mlir emit_testbench
-    validate check_legality timeline trace resource_frac list_workloads =
+    validate check_legality timeline trace timing dump_after verify_each
+    resource_frac list_workloads =
   if list_workloads then begin
     List.iter (fun (n, _) -> print_endline n) (workloads ());
     0
@@ -56,9 +57,34 @@ let run workload from_c size framework emit_c emit_mlir emit_testbench
             in
             let dnn = List.mem_assoc workload Pom.Workloads.Dnn.by_name in
             let func = build size in
-            let c = Pom.compile ~device ~framework:fw ~dnn func in
+            let c =
+              Pom.compile ~device ~framework:fw ~dnn ~dump_after ~verify_each
+                func
+            in
+            List.iter
+              (fun name ->
+                if name <> "all" && not (Pom.Pipeline.Registry.mem name) then
+                  Printf.eprintf
+                    "warning: --dump-after %s matches no registered pass \
+                     (known: %s)\n"
+                    name
+                    (String.concat ", "
+                       (List.map fst (Pom.Pipeline.Registry.all ()))))
+              dump_after;
             Format.printf "workload:    %s (size %d)@." workload size;
             Format.printf "framework:   %s@." framework;
+            if timing then
+              List.iter
+                (Format.printf "pass:        %a@." Pom.Pipeline.Pass.pp_record)
+                c.Pom.passes;
+            List.iter
+              (fun (r : Pom.Pipeline.Pass.record) ->
+                match r.Pom.Pipeline.Pass.dump with
+                | Some ir ->
+                    Format.printf "---- IR after %s ----@.%s@."
+                      r.Pom.Pipeline.Pass.pass ir
+                | None -> ())
+              c.Pom.passes;
             Format.printf "report:      %a@." Pom.Hls.Report.pp c.Pom.report;
             Format.printf "speedup:     %.1fx over unoptimized (%d cycles)@."
               (Pom.speedup c) c.Pom.baseline_latency;
@@ -86,13 +112,9 @@ let run workload from_c size framework emit_c emit_mlir emit_testbench
                     vs
             end;
             if trace then begin
-              match fw with
-              | `Pom_auto ->
-                  let o = Pom.Dse.Engine.run ~device func in
-                  List.iter
-                    (Format.printf "trace:       %s@.")
-                    o.Pom.Dse.Engine.result.Pom.Dse.Stage2.trace
-              | _ -> Format.printf "trace:       (only for -f pom)@."
+              match c.Pom.trace with
+              | [] -> Format.printf "trace:       (empty)@."
+              | lines -> List.iter (Format.printf "trace:       %s@.") lines
             end;
             if timeline then begin
               print_newline ();
@@ -160,7 +182,33 @@ let trace_arg =
   Arg.(
     value & flag
     & info [ "trace" ]
-        ~doc:"Print the DSE engine's bottleneck-search decision log.")
+        ~doc:
+          "Print the compile trace: DSE decisions, memo cache summary, \
+           legality verdicts.")
+
+let timing_arg =
+  Arg.(
+    value & flag
+    & info [ "timing" ]
+        ~doc:
+          "Print one line per compiler pass with wall-clock/CPU time and IR \
+           statistics.")
+
+let dump_after_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:
+          "Print the IR after the named pass (repeatable; 'all' dumps after \
+           every pass).")
+
+let verify_each_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-each" ]
+        ~doc:
+          "Re-check polyhedral legality after every pass (verdicts shown \
+           with --timing).")
 
 let timeline_arg =
   Arg.(
@@ -190,6 +238,7 @@ let cmd =
     Term.(
       const run $ workload_arg $ from_c_arg $ size_arg $ framework_arg
       $ emit_c_arg $ emit_mlir_arg $ emit_testbench_arg $ validate_arg
-      $ check_legality_arg $ timeline_arg $ trace_arg $ frac_arg $ list_arg)
+      $ check_legality_arg $ timeline_arg $ trace_arg $ timing_arg
+      $ dump_after_arg $ verify_each_arg $ frac_arg $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -47,6 +47,14 @@ let rec stmts_of_node = function
 
 and stmts nodes = List.concat_map stmts_of_node nodes
 
+let counts nodes =
+  let rec go (loops, ops) = function
+    | For { body; _ } -> List.fold_left go (loops + 1, ops) body
+    | If (_, body) -> List.fold_left go (loops, ops) body
+    | Op _ -> (loops, ops + 1)
+  in
+  List.fold_left go (0, 0) nodes
+
 let pp_attrs ppf a =
   (match a.pipeline_ii with
   | Some ii -> Format.fprintf ppf " {pipeline II=%d}" ii

@@ -47,6 +47,10 @@ val const_extent : node -> int option
 (** All statements in emission order. *)
 val stmts : node list -> stmt list
 
+(** [(loops, ops)]: the number of [For] nodes and of statement [Op]s in a
+    body, counted recursively (pass-statistics instrumentation). *)
+val counts : node list -> int * int
+
 val pp_node : Format.formatter -> node -> unit
 
 val pp_func : Format.formatter -> func -> unit

@@ -69,15 +69,26 @@ let fused_computes func =
          | _ -> [])
        (Func.directives func))
 
-let structural_directives func =
-  List.filter
-    (fun d ->
-      match (d : Schedule.t) with
-      | Schedule.After { level; _ } | Schedule.Fuse { level; _ } -> level >= 1
-      | _ -> false)
-    (Func.directives func)
+let structural_directives = Pom_pipeline.Passes.structural_directives
 
 let schedule func directives =
-  List.fold_left Pom_polyir.Prog.apply
-    (Pom_polyir.Prog.of_func_unscheduled func)
-    directives
+  Pom_pipeline.Memo.schedule Pom_pipeline.Memo.global func directives
+
+let locality_tiling_pass ?tile ~exclude_fused () =
+  Pom_pipeline.Pass.v ~name:"pluto-locality-tiling"
+    ~descr:"Pluto-style cache tiling of large loop dimensions"
+    (fun (st : Pom_pipeline.State.t) ->
+      let func = st.Pom_pipeline.State.func in
+      let exclude = if exclude_fused then fused_computes func else [] in
+      let tiling, _ = locality_tiling ?tile ~exclude func in
+      {
+        st with
+        Pom_pipeline.State.directives =
+          st.Pom_pipeline.State.directives @ tiling;
+      })
+
+let extract (st : Pom_pipeline.State.t) =
+  match (st.Pom_pipeline.State.prog, st.Pom_pipeline.State.report) with
+  | Some prog, Some report ->
+      (st.Pom_pipeline.State.directives, prog, report)
+  | _ -> invalid_arg "Butil.extract: pipeline left no program or report"

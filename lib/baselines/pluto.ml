@@ -1,4 +1,5 @@
 open Pom_dsl
+open Pom_pipeline
 
 type result = {
   directives : Schedule.t list;
@@ -6,10 +7,17 @@ type result = {
   report : Pom_hls.Report.t;
 }
 
+let passes () =
+  [
+    Butil.locality_tiling_pass ~exclude_fused:true ();
+    Passes.structural ();
+  ]
+
 let run ?(device = Pom_hls.Device.xc7z020) func =
-  let tiling, _ =
-    Butil.locality_tiling ~exclude:(Butil.fused_computes func) func
+  let st, _records =
+    Pass.run
+      (passes () @ [ Passes.schedule_apply (); Passes.synthesize () ])
+      (State.init ~device func)
   in
-  let directives = tiling @ Butil.structural_directives func in
-  let prog = Butil.schedule func directives in
-  { directives; prog; report = Pom_hls.Report.synthesize ~device prog }
+  let directives, prog, report = Butil.extract st in
+  { directives; prog; report }

@@ -8,4 +8,9 @@ open Pom_dsl
 
 type result = { directives : Schedule.t list; prog : Pom_polyir.Prog.t; report : Pom_hls.Report.t }
 
+(** The flow's transform passes (tiling, structural fusion), for embedding
+    in a larger pipeline; {!run} appends schedule application and
+    synthesis. *)
+val passes : unit -> Pom_pipeline.State.t Pom_pipeline.Pass.t list
+
 val run : ?device:Pom_hls.Device.t -> Func.t -> result

@@ -1,4 +1,5 @@
 open Pom_dsl
+open Pom_pipeline
 
 type result = {
   directives : Schedule.t list;
@@ -6,22 +7,42 @@ type result = {
   report : Pom_hls.Report.t;
 }
 
+(* Pipeline the innermost loop of every nest (in the post-tiling order);
+   POLSCA adds pragmas on top of the Pluto schedule but no partitioning. *)
+let pipeline_pass () =
+  Pass.v ~name:"polsca-pipeline"
+    ~descr:"pipeline the innermost loop of every tiled nest"
+    (fun (st : State.t) ->
+      let func = st.State.func in
+      let _, orders =
+        Butil.locality_tiling ~exclude:(Butil.fused_computes func) func
+      in
+      let pipelines =
+        List.map
+          (fun (c : Compute.t) ->
+            let name = c.Compute.name in
+            let order =
+              match List.assoc_opt name orders with
+              | Some o when o <> [] -> o
+              | _ -> Compute.iter_names c
+            in
+            Schedule.pipeline name (List.nth order (List.length order - 1)) 1)
+          (Func.computes func)
+      in
+      { st with State.directives = st.State.directives @ pipelines })
+
+let passes () =
+  [
+    Butil.locality_tiling_pass ~exclude_fused:true ();
+    Passes.structural ();
+    pipeline_pass ();
+  ]
+
 let run ?(device = Pom_hls.Device.xc7z020) func =
-  let tiling, orders =
-    Butil.locality_tiling ~exclude:(Butil.fused_computes func) func
+  let st, _records =
+    Pass.run
+      (passes () @ [ Passes.schedule_apply (); Passes.synthesize () ])
+      (State.init ~device func)
   in
-  let pipelines =
-    List.map
-      (fun (c : Compute.t) ->
-        let name = c.Compute.name in
-        let order =
-          match List.assoc_opt name orders with
-          | Some o when o <> [] -> o
-          | _ -> Compute.iter_names c
-        in
-        Schedule.pipeline name (List.nth order (List.length order - 1)) 1)
-      (Func.computes func)
-  in
-  let directives = tiling @ Butil.structural_directives func @ pipelines in
-  let prog = Butil.schedule func directives in
-  { directives; prog; report = Pom_hls.Report.synthesize ~device prog }
+  let directives, prog, report = Butil.extract st in
+  { directives; prog; report }

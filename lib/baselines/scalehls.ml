@@ -2,6 +2,7 @@ open Pom_dsl
 open Pom_polyir
 open Pom_hls
 open Pom_dse
+open Pom_pipeline
 
 type result = {
   directives : Schedule.t list;
@@ -47,6 +48,16 @@ let interchange_stage func =
       | Some _ | None -> [])
     (Pom_depgraph.Graph.nodes graph)
 
+let interchange_pass () =
+  Pass.v ~name:"scalehls-interchange"
+    ~descr:"single-IR loop-order permutation (no distribution, no skew)"
+    (fun (st : State.t) ->
+      {
+        st with
+        State.directives =
+          st.State.directives @ interchange_stage st.State.func;
+      })
+
 (* Denser factor ladder than POM's doubling: more trials, longer DSE. *)
 let ladder = [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64 ]
 
@@ -75,20 +86,22 @@ let realize_unit u =
       (fun (c, order, extents) -> Stage2.realize c order extents u.par)
       u.members
 
-let evaluate ~device ~latency_mode func base units =
+let evaluate ~cache ~device ~composition ~latency_mode func base units =
   let hw =
     List.concat_map
       (fun u ->
         List.concat_map (fun r -> r.Stage2.hw_directives) u.realization)
       units
   in
-  let prog0 = Butil.schedule func (base @ hw) in
+  let prog0 = Memo.schedule cache func base in
+  let prog0 = List.fold_left Prog.apply prog0 hw in
   let parts = Stage2.partition_plan prog0 in
-  let prog = List.fold_left Prog.apply prog0 parts in
-  let report =
-    Report.synthesize ~composition:Resource.Dataflow ~latency_mode ~device prog
+  let directives = base @ hw @ parts in
+  let prog, report =
+    Memo.synthesize cache ~composition ~latency_mode ~device ~directives func
+      (fun () -> List.fold_left Prog.apply prog0 parts)
   in
-  (prog, base @ hw @ parts, report)
+  (prog, directives, report)
 
 (* Per-unit operator usage — the quantity ScaleHLS's per-loop budget check
    sees (global banking overhead is not in it).  Each check re-profiles the
@@ -116,106 +129,138 @@ let usage_sub (a : Resource.usage) (b : Resource.usage) =
     bram = a.Resource.bram - b.Resource.bram;
   }
 
-let run ?(device = Device.xc7z020) ?(dnn = false) func =
-  let t0 = Sys.time () in
-  let latency_mode = if dnn then `Dataflow else `Sequential in
-  let base = interchange_stage func @ Butil.structural_directives func in
-  let prog_base = Butil.schedule func base in
-  let huge =
-    List.exists
-      (fun (c : Compute.t) ->
-        List.exists (fun (v : Var.t) -> Var.extent v >= 8192) c.Compute.iters)
-      (Func.computes func)
-  in
-  let units =
-    let ids =
-      List.sort_uniq Int.compare
-        (List.map
-           (fun (s : Stmt_poly.t) ->
-             Pom_poly.Sched.const_at s.Stmt_poly.sched 0)
-           prog_base.Prog.stmts)
-    in
-    List.map
-      (fun id ->
-        let members =
-          List.filter_map
-            (fun (s : Stmt_poly.t) ->
-              if Pom_poly.Sched.const_at s.Stmt_poly.sched 0 = id then
-                Some (member_info s)
-              else None)
-            prog_base.Prog.stmts
+let greedy_pass ?(cache = Memo.global) ?(on_result = fun _ -> ()) () =
+  Pass.v ~name:"scalehls-greedy-dse"
+    ~descr:"greedy program-order factor-ladder DSE under a dataflow budget"
+    (fun (st : State.t) ->
+      let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+      let func = st.State.func and device = st.State.device in
+      let composition = st.State.composition
+      and latency_mode = st.State.latency_mode in
+      let base = st.State.directives in
+      let prog_base = Memo.schedule cache func base in
+      let huge =
+        List.exists
+          (fun (c : Compute.t) ->
+            List.exists
+              (fun (v : Var.t) -> Var.extent v >= 8192)
+              c.Compute.iters)
+          (Func.computes func)
+      in
+      let units =
+        let ids =
+          List.sort_uniq Int.compare
+            (List.map
+               (fun (s : Stmt_poly.t) ->
+                 Pom_poly.Sched.const_at s.Stmt_poly.sched 0)
+               prog_base.Prog.stmts)
         in
-        let u = { id; members; par = 1; realization = [] } in
-        realize_unit u;
-        u)
-      ids
-  in
-  let evaluations = ref 0 in
-  let eval () =
-    incr evaluations;
-    evaluate ~device ~latency_mode func base units
-  in
-  let current = ref (eval ()) in
-  let budget =
-    ref
-      {
-        Resource.dsp = device.Device.dsp;
-        lut = device.Device.lut;
-        ff = device.Device.ff;
-        bram = Resource.bram18_blocks device;
-      }
-  in
-  if not huge then
-    List.iter
-      (fun u ->
-        (* greedy: push this unit as far as the remaining budget allows *)
-        let continue_ = ref true in
+        List.map
+          (fun id ->
+            let members =
+              List.filter_map
+                (fun (s : Stmt_poly.t) ->
+                  if Pom_poly.Sched.const_at s.Stmt_poly.sched 0 = id then
+                    Some (member_info s)
+                  else None)
+                prog_base.Prog.stmts
+            in
+            let u = { id; members; par = 1; realization = [] } in
+            realize_unit u;
+            u)
+          ids
+      in
+      let evaluations = ref 0 in
+      let eval () =
+        incr evaluations;
+        evaluate ~cache ~device ~composition ~latency_mode func base units
+      in
+      let current = ref (eval ()) in
+      let budget =
+        ref
+          {
+            Resource.dsp = device.Device.dsp;
+            lut = device.Device.lut;
+            ff = device.Device.ff;
+            bram = Resource.bram18_blocks device;
+          }
+      in
+      if not huge then
         List.iter
-          (fun par ->
-            if !continue_ then begin
-              let saved_par = u.par and saved_real = u.realization in
-              u.par <- par;
-              realize_unit u;
-              let ((trial_prog, _, trial_report) as trial) = eval () in
-              let usage = unit_usage ~count:evaluations trial_prog u in
-              let _, _, cur_report = !current in
-              if
-                usage_fits !budget usage
-                && trial_report.Report.latency < cur_report.Report.latency
-              then current := trial
-              else if
-                usage_fits !budget usage
-                && trial_report.Report.latency = cur_report.Report.latency
-              then begin
-                (* ladder step changed nothing (factor saturation): back it
-                   out but keep climbing *)
-                u.par <- saved_par;
-                u.realization <- saved_real
-              end
-              else begin
-                u.par <- saved_par;
-                u.realization <- saved_real;
-                continue_ := false
-              end
-            end)
-          ladder;
-        let prog, _, _ = !current in
-        budget := usage_sub !budget (unit_usage ~count:evaluations prog u))
-      units;
-  let prog, directives, report = !current in
-  let tile_vectors =
-    List.concat_map
-      (fun u ->
-        List.map2
-          (fun (c, _, _) (r : Stage2.realization) -> (c, r.Stage2.tile_vector))
-          u.members u.realization)
-      units
+          (fun u ->
+            (* greedy: push this unit as far as the remaining budget allows *)
+            let continue_ = ref true in
+            List.iter
+              (fun par ->
+                if !continue_ then begin
+                  let saved_par = u.par and saved_real = u.realization in
+                  u.par <- par;
+                  realize_unit u;
+                  let ((trial_prog, _, trial_report) as trial) = eval () in
+                  let usage = unit_usage ~count:evaluations trial_prog u in
+                  let _, _, cur_report = !current in
+                  if
+                    usage_fits !budget usage
+                    && trial_report.Report.latency < cur_report.Report.latency
+                  then current := trial
+                  else if
+                    usage_fits !budget usage
+                    && trial_report.Report.latency = cur_report.Report.latency
+                  then begin
+                    (* ladder step changed nothing (factor saturation): back
+                       it out but keep climbing *)
+                    u.par <- saved_par;
+                    u.realization <- saved_real
+                  end
+                  else begin
+                    u.par <- saved_par;
+                    u.realization <- saved_real;
+                    continue_ := false
+                  end
+                end)
+              ladder;
+            let prog, _, _ = !current in
+            budget := usage_sub !budget (unit_usage ~count:evaluations prog u))
+          units;
+      let prog, directives, report = !current in
+      let tile_vectors =
+        List.concat_map
+          (fun u ->
+            List.map2
+              (fun (c, _, _) (r : Stage2.realization) ->
+                (c, r.Stage2.tile_vector))
+              u.members u.realization)
+          units
+      in
+      let dse_time_s = Unix.gettimeofday () -. wall0 in
+      on_result
+        {
+          directives;
+          prog;
+          report;
+          dse_time_s;
+          tile_vectors;
+          evaluations = !evaluations;
+        };
+      {
+        st with
+        State.prog = Some prog;
+        report = Some report;
+        directives;
+        tile_vectors;
+        dse_time_s = st.State.dse_time_s +. dse_time_s;
+        dse_cpu_s = st.State.dse_cpu_s +. (Sys.time () -. cpu0);
+      })
+
+let passes ?cache ?on_result () =
+  [ interchange_pass (); Passes.structural (); greedy_pass ?cache ?on_result () ]
+
+let run ?(device = Device.xc7z020) ?(dnn = false) func =
+  let result = ref None in
+  let latency_mode = if dnn then `Dataflow else `Sequential in
+  let _st, _records =
+    Pass.run
+      (passes ~on_result:(fun r -> result := Some r) ())
+      (State.init ~composition:Resource.Dataflow ~latency_mode ~device func)
   in
-  {
-    directives;
-    prog;
-    report;
-    dse_time_s = Sys.time () -. t0;
-    tile_vectors;
-    evaluations = !evaluations;
-  }
+  match !result with Some r -> r | None -> assert false

@@ -27,4 +27,15 @@ type result = {
   evaluations : int;
 }
 
+(** The flow's passes (interchange, structural fusion, greedy DSE — the
+    greedy pass fills the state's program/report slots itself and reports
+    the full search [result] through [on_result]), for embedding in a
+    larger pipeline.  Initialize the state with the dataflow composition
+    and the intended latency mode. *)
+val passes :
+  ?cache:Pom_pipeline.Memo.t ->
+  ?on_result:(result -> unit) ->
+  unit ->
+  Pom_pipeline.State.t Pom_pipeline.Pass.t list
+
 val run : ?device:Pom_hls.Device.t -> ?dnn:bool -> Func.t -> result

@@ -10,6 +10,9 @@ module Dse = Pom_dse
 module Baselines = Pom_baselines
 module Workloads = Pom_workloads
 module Cfront = Pom_cfront
+module Pipeline = Pom_pipeline
+
+open Pom_pipeline
 
 type framework =
   [ `Baseline | `Pluto | `Polsca | `Scalehls | `Pom_manual | `Pom_auto ]
@@ -20,55 +23,67 @@ type compiled = {
   report : Pom_hls.Report.t;
   hls_c : string;
   dse_time_s : float;
+  dse_cpu_s : float;
   tile_vectors : (string * int list) list;
   baseline_latency : int;
+  passes : Pass.record list;
+  trace : string list;
 }
 
+(* The head of each flow: everything up to (but excluding) the shared
+   synthesize/lower/simplify/emit tail.  Searching flows (`Scalehls,
+   `Pom_auto) fill the program slot themselves; the others accumulate
+   directives and apply them with the shared schedule-apply pass. *)
+let head_passes framework =
+  match framework with
+  | `Baseline -> [ Passes.structural (); Passes.schedule_apply () ]
+  | `Pluto -> Baselines.Pluto.passes () @ [ Passes.schedule_apply () ]
+  | `Polsca -> Baselines.Polsca.passes () @ [ Passes.schedule_apply () ]
+  | `Scalehls -> Baselines.Scalehls.passes ()
+  | `Pom_manual -> [ Passes.user_schedule (); Passes.schedule_apply () ]
+  | `Pom_auto -> Dse.Engine.passes ()
+
 let compile ?(device = Pom_hls.Device.xc7z020) ?(framework = `Pom_auto)
-    ?(dnn = false) func =
+    ?(dnn = false) ?(dump_after = []) ?(verify_each = false)
+    ?(simulate = false) func =
   let baseline_latency = Pom_hls.Report.baseline_latency func in
-  let prog, report, dse_time_s, tile_vectors =
+  let composition, latency_mode =
     match framework with
-    | `Baseline ->
-        let prog =
-          List.fold_left Pom_polyir.Prog.apply
-            (Pom_polyir.Prog.of_func_unscheduled func)
-            (Pom_baselines.Butil.structural_directives func)
-        in
-        (prog, Pom_hls.Report.synthesize ~device prog, 0.0, [])
-    | `Pluto ->
-        let r = Pom_baselines.Pluto.run ~device func in
-        (r.Pom_baselines.Pluto.prog, r.Pom_baselines.Pluto.report, 0.0, [])
-    | `Polsca ->
-        let r = Pom_baselines.Polsca.run ~device func in
-        (r.Pom_baselines.Polsca.prog, r.Pom_baselines.Polsca.report, 0.0, [])
     | `Scalehls ->
-        let r = Pom_baselines.Scalehls.run ~device ~dnn func in
-        ( r.Pom_baselines.Scalehls.prog,
-          r.Pom_baselines.Scalehls.report,
-          r.Pom_baselines.Scalehls.dse_time_s,
-          r.Pom_baselines.Scalehls.tile_vectors )
-    | `Pom_manual ->
-        let prog = Pom_polyir.Prog.of_func func in
-        (prog, Pom_hls.Report.synthesize ~device prog, 0.0, [])
-    | `Pom_auto ->
-        let o = Pom_dse.Engine.run ~device func in
-        let r = o.Pom_dse.Engine.result in
-        ( r.Pom_dse.Stage2.prog,
-          r.Pom_dse.Stage2.report,
-          o.Pom_dse.Engine.dse_time_s,
-          r.Pom_dse.Stage2.tile_vectors )
+        (Pom_hls.Resource.Dataflow, if dnn then `Dataflow else `Sequential)
+    | `Baseline | `Pluto | `Polsca | `Pom_manual | `Pom_auto ->
+        (Pom_hls.Resource.Reuse, `Sequential)
+  in
+  let pipeline =
+    head_passes framework
+    @ [ Passes.legality_check () ]
+    @ Passes.tail ()
+  in
+  let instruments = State.instruments ~dump_after ~verify_each ~simulate () in
+  let st, records =
+    Pass.run ~instruments pipeline
+      (State.init ~composition ~latency_mode ~device func)
+  in
+  let prog =
+    match st.State.prog with Some p -> p | None -> assert false
+  in
+  let report =
+    match st.State.report with Some r -> r | None -> assert false
+  in
+  let hls_c =
+    match st.State.hls_c with Some c -> c | None -> assert false
   in
   {
     framework;
     prog;
     report;
-    hls_c =
-      Pom_emit.Emit.hls_c
-        (Pom_affine.Passes.simplify (Pom_affine.Lower.lower prog));
-    dse_time_s;
-    tile_vectors;
+    hls_c;
+    dse_time_s = st.State.dse_time_s;
+    dse_cpu_s = st.State.dse_cpu_s;
+    tile_vectors = st.State.tile_vectors;
     baseline_latency;
+    passes = records;
+    trace = st.State.trace;
   }
 
 let mlir c =
@@ -82,7 +97,7 @@ let validate func c = Pom_sim.Interp.divergence func c.prog
 
 let check_legality func c =
   let original =
-    List.fold_left Pom_polyir.Prog.apply
+    Pom_polyir.Prog.apply_all
       (Pom_polyir.Prog.of_func_unscheduled func)
       (Pom_baselines.Butil.structural_directives func)
   in

@@ -11,7 +11,11 @@
       let c = Pom.compile ~framework:`Pom_auto f in
       print_string c.Pom.hls_c;
       Format.printf "%a@." Pom.Hls.Report.pp c.Pom.report
-    ]} *)
+    ]}
+
+    Every flow is an instrumented pass pipeline ({!Pipeline.Pass}): each
+    step is a registered pass, and {!compile} returns one timing/statistics
+    record per pass. *)
 
 (** Re-exported subsystem entry points. *)
 
@@ -27,6 +31,7 @@ module Dse = Pom_dse
 module Baselines = Pom_baselines
 module Workloads = Pom_workloads
 module Cfront = Pom_cfront
+module Pipeline = Pom_pipeline
 
 (** Which optimization flow to run. *)
 type framework =
@@ -42,18 +47,32 @@ type compiled = {
   prog : Pom_polyir.Prog.t;
   report : Pom_hls.Report.t;
   hls_c : string;  (** generated HLS C *)
-  dse_time_s : float;  (** 0 for non-searching flows *)
+  dse_time_s : float;  (** wall-clock search time; 0 for non-searching flows *)
+  dse_cpu_s : float;  (** CPU search time ([Sys.time]) *)
   tile_vectors : (string * int list) list;  (** empty for non-DSE flows *)
   baseline_latency : int;
+  passes : Pom_pipeline.Pass.record list;
+      (** one instrumentation record per executed pass, in order *)
+  trace : string list;
+      (** decision log: DSE search trace, memo summary, legality verdicts *)
 }
 
 (** Compile a DSL function end-to-end through the selected flow.  [dnn]
     switches the ScaleHLS baseline to its dataflow composition; POM always
-    reuses resources across loops. *)
+    reuses resources across loops.
+
+    [dump_after] names passes whose post-pass IR should be captured in the
+    matching {!Pipeline.Pass.record} ([["all"]] captures every pass);
+    [verify_each] re-checks polyhedral legality after every pass, and
+    [simulate] additionally runs the functional simulator (small problem
+    sizes only). *)
 val compile :
   ?device:Pom_hls.Device.t ->
   ?framework:framework ->
   ?dnn:bool ->
+  ?dump_after:string list ->
+  ?verify_each:bool ->
+  ?simulate:bool ->
   Pom_dsl.Func.t ->
   compiled
 

@@ -1,13 +1,31 @@
-(** The two-stage DSE driver (the [f.auto_DSE()] primitive): run
-    dependence-aware transformation, then bottleneck-oriented optimization,
-    and account the search time that Table III reports as the toolchain's
-    runtime. *)
+(** The two-stage DSE driver (the [f.auto_DSE()] primitive), reified as an
+    instrumented pass pipeline: dependence-aware transformation
+    ([stage1-transform]) then bottleneck-oriented optimization
+    ([stage2-search]), each a registered pass with its own timing record.
+    The search time that Table III reports as the toolchain's runtime is
+    wall clock; CPU time is accounted separately. *)
 
 type outcome = {
   stage1 : Stage1.t;
   result : Stage2.result;
-  dse_time_s : float;  (** wall-clock search time *)
+  dse_time_s : float;  (** wall-clock search time ([Unix.gettimeofday]) *)
+  dse_cpu_s : float;  (** CPU search time ([Sys.time]) *)
+  records : Pom_pipeline.Pass.record list;  (** per-pass instrumentation *)
 }
+
+(** The engine's two passes over the shared compile state, for embedding in
+    a larger pipeline (the [`Pom_auto] compile flow).  The device and
+    composition are read from the state; [on_stage1]/[on_result] observe the
+    intermediate results. *)
+val passes :
+  ?par_cap:int ->
+  ?bank_cap:int ->
+  ?steps:(int -> int list) ->
+  ?cache:Pom_pipeline.Memo.t ->
+  ?on_stage1:(Stage1.t -> unit) ->
+  ?on_result:(Stage2.result -> unit) ->
+  unit ->
+  Pom_pipeline.State.t Pom_pipeline.Pass.t list
 
 val run :
   ?device:Pom_hls.Device.t ->
@@ -15,5 +33,6 @@ val run :
   ?par_cap:int ->
   ?bank_cap:int ->
   ?steps:(int -> int list) ->
+  ?cache:Pom_pipeline.Memo.t ->
   Pom_dsl.Func.t ->
   outcome

@@ -10,6 +10,8 @@ type result = {
   tile_vectors : (string * int list) list;
   trace : string list;
   evaluations : int;
+  report_cache_hits : int;
+  cold_syntheses : int;
 }
 
 (* ---- parallelism realization for one compute ---- *)
@@ -206,20 +208,25 @@ let realize_unit u =
 
 (* ---- full-program evaluation ---- *)
 
-let evaluate ?bank_cap ~device ~composition func base_directives units =
+(* The base-directive prefix is identical for every candidate, so its
+   application is served by the schedule memo after the first evaluation;
+   the full design point (base + hardware + partitioning) keys the report
+   memo, so re-asking for an already-evaluated point costs a lookup. *)
+let evaluate ?bank_cap ~cache ~device ~composition func base_directives units =
   let hw =
     List.concat_map
       (fun u -> List.concat_map (fun r -> r.hw_directives) u.realization)
       units
   in
-  let prog0 =
-    List.fold_left Prog.apply (Prog.of_func_unscheduled func)
-      (base_directives @ hw)
-  in
+  let prog0 = Pom_pipeline.Memo.schedule cache func base_directives in
+  let prog0 = List.fold_left Prog.apply prog0 hw in
   let parts = partition_plan ?bank_cap prog0 in
-  let prog = List.fold_left Prog.apply prog0 parts in
-  let report = Report.synthesize ~composition ~device prog in
-  (prog, base_directives @ hw @ parts, report)
+  let directives = base_directives @ hw @ parts in
+  let prog, report =
+    Pom_pipeline.Memo.synthesize cache ~composition ~device ~directives func
+      (fun () -> List.fold_left Prog.apply prog0 parts)
+  in
+  (prog, directives, report)
 
 (* ---- the bottleneck-oriented search ---- *)
 
@@ -268,18 +275,17 @@ let critical_bottleneck ~report ~paths units =
 let default_steps par = [ par * 2; par * 3 / 2 ]
 
 let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
-    ?(par_cap = 64) ?bank_cap ?(steps = default_steps) func
-    (stage1 : Stage1.t) =
+    ?(par_cap = 64) ?bank_cap ?(steps = default_steps)
+    ?(cache = Pom_pipeline.Memo.global) func (stage1 : Stage1.t) =
+  let memo0 = Pom_pipeline.Memo.snapshot cache in
   let base = stage1.Stage1.directives in
-  let prog_base =
-    List.fold_left Prog.apply (Prog.of_func_unscheduled func) base
-  in
+  let prog_base = Pom_pipeline.Memo.schedule cache func base in
   let units = units_of prog_base ~par_cap in
   let paths = Pom_depgraph.Graph.data_paths (Pom_depgraph.Graph.build func) in
   let evaluations = ref 0 in
   let evaluate_counted () =
     incr evaluations;
-    evaluate ?bank_cap ~device ~composition func base units
+    evaluate ?bank_cap ~cache ~device ~composition func base units
   in
   let current = ref (evaluate_counted ()) in
   let trace = ref [] in
@@ -337,7 +343,30 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
           u.active <- false
         end
   done;
-  let prog, directives, report = !current in
+  let prog0, directives, _ = !current in
+  (* Re-request the winning design point through the memo: the search just
+     evaluated it, so this final QoR query is served from cache — the same
+     mechanism that makes any later re-synthesis of this point (the compile
+     pipeline's hls-synthesize pass, a --trace re-run) free. *)
+  incr evaluations;
+  let prog, report =
+    Pom_pipeline.Memo.synthesize cache ~composition ~device ~directives func
+      (fun () -> prog0)
+  in
+  let memo1 = Pom_pipeline.Memo.snapshot cache in
+  let report_cache_hits =
+    memo1.Pom_pipeline.Memo.report_hits - memo0.Pom_pipeline.Memo.report_hits
+  in
+  let cold_syntheses =
+    memo1.Pom_pipeline.Memo.report_misses
+    - memo0.Pom_pipeline.Memo.report_misses
+  in
+  log
+    "memo: %d of %d QoR evaluations served from cache (%d cold syntheses, %d \
+     schedule-prefix hits)"
+    report_cache_hits !evaluations cold_syntheses
+    (memo1.Pom_pipeline.Memo.schedule_hits
+    - memo0.Pom_pipeline.Memo.schedule_hits);
   let tile_vectors =
     List.concat_map
       (fun u ->
@@ -354,4 +383,6 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     tile_vectors;
     trace = List.rev !trace;
     evaluations = !evaluations;
+    report_cache_hits;
+    cold_syntheses;
   }

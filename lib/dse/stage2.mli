@@ -39,8 +39,12 @@ type result = {
   trace : string list;
       (** human-readable decision log of the bottleneck search *)
   evaluations : int;
-      (** QoR-model evaluations spent by the search (the deterministic
+      (** QoR-model evaluations requested by the search, including the
+          final re-request of the winning point (the deterministic
           counterpart of the DSE-time column) *)
+  report_cache_hits : int;
+      (** evaluations served by the report memo instead of a synthesis *)
+  cold_syntheses : int;  (** evaluations that ran a full synthesis *)
 }
 
 (** [run func stage1] performs the bottleneck-oriented search.
@@ -48,13 +52,16 @@ type result = {
     partition banks per array; [steps] is the user-specifiable strategy
     group of Section VI-B — given a node's current parallelism it returns
     the candidate degrees to try, first hit wins (default: double, then
-    1.5x as a fallback). *)
+    1.5x as a fallback).  Every QoR evaluation goes through [cache]
+    (default {!Pom_pipeline.Memo.global}): the base-directive prefix is
+    applied once, and re-requested design points skip synthesis. *)
 val run :
   ?device:Pom_hls.Device.t ->
   ?composition:Pom_hls.Resource.composition ->
   ?par_cap:int ->
   ?bank_cap:int ->
   ?steps:(int -> int list) ->
+  ?cache:Pom_pipeline.Memo.t ->
   Func.t ->
   Stage1.t ->
   result

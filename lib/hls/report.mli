@@ -31,6 +31,10 @@ val synthesize :
   Pom_polyir.Prog.t ->
   t
 
+(** Process-wide number of {!synthesize} calls so far: a memo layered on
+    top of synthesis can assert a cache hit left this unchanged. *)
+val synth_count : unit -> int
+
 (** Cycles of the original unoptimized program (schedule directives
     stripped): the denominator-free baseline of every speedup in the
     paper. *)

@@ -1,0 +1,129 @@
+open Pom_dsl
+open Pom_hls
+
+type counters = {
+  mutable schedule_hits : int;
+  mutable schedule_misses : int;
+  mutable report_hits : int;
+  mutable report_misses : int;
+}
+
+type t = {
+  schedules : (string, Pom_polyir.Prog.t) Hashtbl.t;
+  reports : (string, Pom_polyir.Prog.t * Report.t) Hashtbl.t;
+  c : counters;
+}
+
+(* Past this many entries a table is dropped wholesale: long benchmark
+   sweeps would otherwise retain every design point ever evaluated. *)
+let max_entries = 4096
+
+let create () =
+  {
+    schedules = Hashtbl.create 256;
+    reports = Hashtbl.create 256;
+    c =
+      {
+        schedule_hits = 0;
+        schedule_misses = 0;
+        report_hits = 0;
+        report_misses = 0;
+      };
+  }
+
+let global = create ()
+
+let counters t = t.c
+
+let snapshot t =
+  {
+    schedule_hits = t.c.schedule_hits;
+    schedule_misses = t.c.schedule_misses;
+    report_hits = t.c.report_hits;
+    report_misses = t.c.report_misses;
+  }
+
+let clear t =
+  Hashtbl.reset t.schedules;
+  Hashtbl.reset t.reports
+
+(* The function fingerprint covers everything directive application and
+   synthesis can observe: iterator extents, array shapes and types, and the
+   statement bodies (two same-named workloads at different problem sizes or
+   data types must not collide). *)
+let func_key func =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Func.name func);
+  List.iter
+    (fun (c : Compute.t) ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (Format.asprintf "%a" Compute.pp c);
+      List.iter
+        (fun (v : Var.t) ->
+          Buffer.add_string b
+            (Printf.sprintf ";%s:%d:%d" v.Var.name v.Var.lb v.Var.ub))
+        c.Compute.iters)
+    (Func.computes func);
+  List.iter
+    (fun (p : Placeholder.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "|%s[%s]%s" p.Placeholder.name
+           (String.concat "," (List.map string_of_int p.Placeholder.shape))
+           (Dtype.c_name p.Placeholder.dtype)))
+    (Func.placeholders func);
+  Buffer.contents b
+
+let directives_key directives =
+  String.concat ";" (List.map (Format.asprintf "%a" Schedule.pp) directives)
+
+let device_key (d : Device.t) =
+  Printf.sprintf "%s:%d:%d:%d:%d:%g" d.Device.name d.Device.dsp d.Device.lut
+    d.Device.ff d.Device.bram_bits d.Device.clock_mhz
+
+let guard_capacity table =
+  if Hashtbl.length table > max_entries then Hashtbl.reset table
+
+let schedule t func directives =
+  let key = func_key func ^ "##" ^ directives_key directives in
+  match Hashtbl.find_opt t.schedules key with
+  | Some prog ->
+      t.c.schedule_hits <- t.c.schedule_hits + 1;
+      prog
+  | None ->
+      t.c.schedule_misses <- t.c.schedule_misses + 1;
+      let prog =
+        Pom_polyir.Prog.apply_all
+          (Pom_polyir.Prog.of_func_unscheduled func)
+          directives
+      in
+      guard_capacity t.schedules;
+      Hashtbl.replace t.schedules key prog;
+      prog
+
+let synthesize t ?(composition = Resource.Reuse) ?(latency_mode = `Sequential)
+    ~device ~directives func make_prog =
+  let key =
+    String.concat "##"
+      [
+        func_key func;
+        directives_key directives;
+        device_key device;
+        (match composition with
+        | Resource.Reuse -> "reuse"
+        | Resource.Dataflow -> "dataflow");
+        (match latency_mode with
+        | `Sequential -> "sequential"
+        | `Dataflow -> "dataflow");
+      ]
+  in
+  match Hashtbl.find_opt t.reports key with
+  | Some cached ->
+      t.c.report_hits <- t.c.report_hits + 1;
+      cached
+  | None ->
+      t.c.report_misses <- t.c.report_misses + 1;
+      let prog = make_prog () in
+      let report = Report.synthesize ~composition ~latency_mode ~device prog in
+      guard_capacity t.reports;
+      Hashtbl.replace t.reports key (prog, report);
+      (prog, report)

@@ -1,0 +1,57 @@
+(** Memoization of the two expensive polyhedral evaluations the DSE hot
+    path repeats: directive application (building a scheduled {!Pom_polyir.Prog.t}
+    from a function and a directive list) and virtual HLS report synthesis.
+
+    Entries are keyed by a structural fingerprint of the function plus the
+    printed directive list (and, for reports, the device and composition
+    mode), so two requests with the same key are guaranteed to describe the
+    same design point.  Stage 2 of the DSE asks for the same base-directive
+    prefix on every candidate evaluation and re-asks for the final design
+    point after the search; both become cache hits, which the engine reports
+    in its trace. *)
+
+open Pom_dsl
+
+(** Hit/miss counters, cumulative over the cache's lifetime. *)
+type counters = {
+  mutable schedule_hits : int;
+  mutable schedule_misses : int;
+  mutable report_hits : int;
+  mutable report_misses : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** The process-wide cache used by default: sharing it across the DSE
+    engine, the baselines, and the pipeline's synthesis pass is what lets a
+    re-synthesis of an already-evaluated design point (e.g. the final DSE
+    winner, or a [--trace] re-run) cost a lookup instead of a synthesis. *)
+val global : t
+
+val counters : t -> counters
+
+(** A snapshot copy (for before/after deltas). *)
+val snapshot : t -> counters
+
+(** [schedule cache func directives] is
+    [List.fold_left Prog.apply (Prog.of_func_unscheduled func) directives],
+    cached. *)
+val schedule : t -> Func.t -> Schedule.t list -> Pom_polyir.Prog.t
+
+(** [synthesize cache ~device ~directives func make_prog] returns the
+    scheduled program and its synthesis report for one design point,
+    building both with [make_prog] and {!Pom_hls.Report.synthesize} only on
+    a cache miss. *)
+val synthesize :
+  t ->
+  ?composition:Pom_hls.Resource.composition ->
+  ?latency_mode:Pom_hls.Report.latency_mode ->
+  device:Pom_hls.Device.t ->
+  directives:Schedule.t list ->
+  Func.t ->
+  (unit -> Pom_polyir.Prog.t) ->
+  Pom_polyir.Prog.t * Pom_hls.Report.t
+
+val clear : t -> unit

@@ -1,0 +1,73 @@
+type info = { name : string; descr : string }
+
+type 's t = { info : info; run : 's -> 's }
+
+let v ~name ~descr run =
+  Registry.register ~name ~descr;
+  { info = { name; descr }; run }
+
+type record = {
+  pass : string;
+  wall_s : float;
+  cpu_s : float;
+  stats : Stats.t option;
+  dump : string option;
+  verdict : string option;
+}
+
+type 's instruments = {
+  stats : ('s -> Stats.t) option;
+  dump : ('s -> string) option;
+  dump_after : string list;
+  verify : ('s -> string) option;
+  verify_each : bool;
+}
+
+let observe_nothing =
+  {
+    stats = None;
+    dump = None;
+    dump_after = [];
+    verify = None;
+    verify_each = false;
+  }
+
+let wants_dump instruments name =
+  List.mem name instruments.dump_after || instruments.dump_after = [ "all" ]
+
+let run ?(instruments = observe_nothing) passes state =
+  let records = ref [] in
+  let final =
+    List.fold_left
+      (fun st pass ->
+        let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+        let st' = pass.run st in
+        let wall_s = Unix.gettimeofday () -. wall0
+        and cpu_s = Sys.time () -. cpu0 in
+        let apply hook = Option.map (fun f -> f st') hook in
+        let record =
+          {
+            pass = pass.info.name;
+            wall_s;
+            cpu_s;
+            stats = apply instruments.stats;
+            dump =
+              (if wants_dump instruments pass.info.name then
+                 apply instruments.dump
+               else None);
+            verdict =
+              (if instruments.verify_each then apply instruments.verify
+               else None);
+          }
+        in
+        records := record :: !records;
+        st')
+      state passes
+  in
+  (final, List.rev !records)
+
+let pp_record ppf r =
+  Format.fprintf ppf "%-24s %8.3f ms wall %8.3f ms cpu" r.pass
+    (r.wall_s *. 1000.0) (r.cpu_s *. 1000.0);
+  Option.iter (fun s -> Format.fprintf ppf "  [%a]" Stats.pp s) r.stats;
+  Option.iter (fun v -> Format.fprintf ppf "  verify: %s" v) r.verdict

@@ -1,0 +1,87 @@
+open Pom_dsl
+
+let structural_directives = State.structural_directives
+
+let prog_exn (st : State.t) what =
+  match st.State.prog with
+  | Some p -> p
+  | None -> invalid_arg (what ^ ": no polyhedral program in the state")
+
+let structural () =
+  Pass.v ~name:"structural-directives"
+    ~descr:"append the specification's after/fuse structure"
+    (fun (st : State.t) ->
+      {
+        st with
+        State.directives =
+          st.State.directives @ structural_directives st.State.func;
+      })
+
+let user_schedule () =
+  Pass.v ~name:"user-schedule"
+    ~descr:"append the function's own scheduling primitives"
+    (fun (st : State.t) ->
+      {
+        st with
+        State.directives = st.State.directives @ Func.directives st.State.func;
+      })
+
+let schedule_apply () =
+  Pass.v ~name:"schedule-apply"
+    ~descr:"apply the accumulated directives to the polyhedral IR (memoized)"
+    (fun (st : State.t) ->
+      {
+        st with
+        State.prog =
+          Some (Memo.schedule Memo.global st.State.func st.State.directives);
+      })
+
+let legality_check () =
+  Pass.v ~name:"legality-check"
+    ~descr:"prove the schedule preserves every dependence of the spec"
+    (fun (st : State.t) ->
+      let verdict = State.verify st in
+      { st with State.trace = st.State.trace @ [ "legality: " ^ verdict ] })
+
+let synthesize () =
+  Pass.v ~name:"hls-synthesize"
+    ~descr:"virtual HLS synthesis of the current design point (memoized)"
+    (fun (st : State.t) ->
+      let prog, report =
+        Memo.synthesize Memo.global ~composition:st.State.composition
+          ~latency_mode:st.State.latency_mode ~device:st.State.device
+          ~directives:st.State.directives st.State.func (fun () ->
+            match st.State.prog with
+            | Some p -> p
+            | None -> Memo.schedule Memo.global st.State.func st.State.directives)
+      in
+      { st with State.prog = Some prog; report = Some report })
+
+let affine_lower () =
+  Pass.v ~name:"affine-lower"
+    ~descr:"lower the polyhedral AST to the annotated affine dialect"
+    (fun (st : State.t) ->
+      {
+        st with
+        State.affine =
+          Some (Pom_affine.Lower.lower (prog_exn st "affine-lower"));
+      })
+
+let affine_simplify () =
+  Pass.v ~name:"affine-simplify"
+    ~descr:"merge, hoist, and elide guards on the affine level"
+    (fun (st : State.t) ->
+      match st.State.affine with
+      | Some f -> { st with State.affine = Some (Pom_affine.Passes.simplify f) }
+      | None -> invalid_arg "affine-simplify: no affine IR in the state")
+
+let emit_hls_c () =
+  Pass.v ~name:"emit-hls-c"
+    ~descr:"emit HLS C with pragmas from the simplified affine program"
+    (fun (st : State.t) ->
+      match st.State.affine with
+      | Some f -> { st with State.hls_c = Some (Pom_emit.Emit.hls_c f) }
+      | None -> invalid_arg "emit-hls-c: no affine IR in the state")
+
+let tail () =
+  [ synthesize (); affine_lower (); affine_simplify (); emit_hls_c () ]

@@ -1,0 +1,42 @@
+(** The passes shared by every compile flow.  Each is a registered
+    {!Pass.t} over {!State.t}; flows (POM auto, the baselines, manual
+    schedules) prepend their own transform passes and share this tail.
+
+    All schedule application and report synthesis goes through
+    {!Memo.global}, so a design point evaluated anywhere in the process
+    (e.g. by the DSE search) is never re-synthesized by these passes. *)
+
+(** Re-export of {!State.structural_directives}: the specification's
+    [after]/[fuse] structure at level >= 1. *)
+val structural_directives : Pom_dsl.Func.t -> Pom_dsl.Schedule.t list
+
+(** Append the specification's structural fusion directives. *)
+val structural : unit -> State.t Pass.t
+
+(** Append every directive recorded on the function itself (the manual
+    schedule; [auto_DSE] markers are inert under application). *)
+val user_schedule : unit -> State.t Pass.t
+
+(** Apply the accumulated directives, producing the polyhedral program
+    (memoized). *)
+val schedule_apply : unit -> State.t Pass.t
+
+(** Check the current program against the structural reference with the
+    polyhedral dependence checker; the verdict is appended to the trace. *)
+val legality_check : unit -> State.t Pass.t
+
+(** Synthesize the virtual HLS report for the current design point
+    (memoized: a hit when the DSE already evaluated it). *)
+val synthesize : unit -> State.t Pass.t
+
+(** Lower the polyhedral program to the annotated affine dialect. *)
+val affine_lower : unit -> State.t Pass.t
+
+(** Guard merging / hoisting / tautology elision on the affine level. *)
+val affine_simplify : unit -> State.t Pass.t
+
+(** Emit HLS C from the simplified affine program. *)
+val emit_hls_c : unit -> State.t Pass.t
+
+(** The shared tail: synthesize, lower, simplify, emit. *)
+val tail : unit -> State.t Pass.t list

@@ -1,0 +1,11 @@
+let table : (string, string) Hashtbl.t = Hashtbl.create 32
+
+let register ~name ~descr =
+  if not (Hashtbl.mem table name) then Hashtbl.add table name descr
+
+let mem name = Hashtbl.mem table name
+
+let all () =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun n d acc -> (n, d) :: acc) table [])

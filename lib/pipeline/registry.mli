@@ -1,0 +1,14 @@
+(** A process-global registry of pass metadata.  Every pass created with
+    {!Pass.v} registers its name and description here, so tooling (the
+    [--dump-after] validator, the CLI's pass listing, DESIGN.md generation)
+    can enumerate the passes that exist without holding the pass values,
+    which are polymorphic in the state they transform. *)
+
+(** [register ~name ~descr] records a pass.  Re-registering the same name
+    is idempotent (the first description wins). *)
+val register : name:string -> descr:string -> unit
+
+val mem : string -> bool
+
+(** All registered passes, sorted by name. *)
+val all : unit -> (string * string) list

@@ -1,0 +1,95 @@
+open Pom_dsl
+
+type t = {
+  device : Pom_hls.Device.t;
+  composition : Pom_hls.Resource.composition;
+  latency_mode : Pom_hls.Report.latency_mode;
+  func : Func.t;
+  directives : Schedule.t list;
+  prog : Pom_polyir.Prog.t option;
+  report : Pom_hls.Report.t option;
+  affine : Pom_affine.Ir.func option;
+  hls_c : string option;
+  dse_time_s : float;
+  dse_cpu_s : float;
+  tile_vectors : (string * int list) list;
+  trace : string list;
+}
+
+let init ?(composition = Pom_hls.Resource.Reuse) ?(latency_mode = `Sequential)
+    ~device func =
+  {
+    device;
+    composition;
+    latency_mode;
+    func;
+    directives = [];
+    prog = None;
+    report = None;
+    affine = None;
+    hls_c = None;
+    dse_time_s = 0.0;
+    dse_cpu_s = 0.0;
+    tile_vectors = [];
+    trace = [];
+  }
+
+let stats t =
+  let base =
+    match t.prog with
+    | Some prog -> Stats.of_prog prog
+    | None -> Stats.zero
+  in
+  let base = { base with Stats.directives = List.length t.directives } in
+  match t.affine with
+  | Some f -> Stats.with_affine f base
+  | None -> base
+
+let dump t =
+  match (t.hls_c, t.affine, t.prog) with
+  | Some c, _, _ -> c
+  | None, Some f, _ -> Pom_emit.Emit_mlir.mlir f
+  | None, None, Some prog -> Format.asprintf "%a" Pom_polyir.Prog.pp prog
+  | None, None, None -> "(no IR constructed yet)"
+
+(* The specification's own fusion structure ([after]/[fuse] at level >= 1)
+   is part of the reference semantics, not a transformation under test. *)
+let structural_directives func =
+  List.filter
+    (fun d ->
+      match (d : Schedule.t) with
+      | Schedule.After { level; _ } | Schedule.Fuse { level; _ } -> level >= 1
+      | _ -> false)
+    (Func.directives func)
+
+let reference t =
+  Pom_polyir.Prog.apply_all
+    (Pom_polyir.Prog.of_func_unscheduled t.func)
+    (structural_directives t.func)
+
+let verify ?(simulate = false) t =
+  match t.prog with
+  | None -> "no polyhedral IR yet"
+  | Some prog ->
+      let legality =
+        match
+          Pom_polyir.Legality.violations ~original:(reference t)
+            ~transformed:prog
+        with
+        | [] -> "legal"
+        | vs -> Printf.sprintf "%d reversed dependences" (List.length vs)
+      in
+      if simulate then
+        Printf.sprintf "%s, divergence %g" legality
+          (Pom_sim.Interp.divergence t.func prog)
+      else legality
+
+let instruments ?(dump_after = []) ?(verify_each = false) ?(simulate = false)
+    () =
+  {
+    Pass.stats = Some stats;
+    dump = Some dump;
+    dump_after;
+    verify = Some (fun t -> verify ~simulate t);
+    verify_each;
+  }

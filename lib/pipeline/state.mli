@@ -1,0 +1,61 @@
+(** The end-to-end compile state threaded through {!Pass.run}: one record
+    holding the function, the target device, the directives accumulated by
+    the flow's transform passes, and each IR level as it is produced
+    (polyhedral program → synthesis report → annotated affine → HLS C).
+    Passes fill the slots left-to-right; instrumentation reads whichever
+    levels exist. *)
+
+open Pom_dsl
+
+type t = {
+  device : Pom_hls.Device.t;
+  composition : Pom_hls.Resource.composition;
+  latency_mode : Pom_hls.Report.latency_mode;
+  func : Func.t;
+  directives : Schedule.t list;  (** accumulated, in application order *)
+  prog : Pom_polyir.Prog.t option;
+  report : Pom_hls.Report.t option;
+  affine : Pom_affine.Ir.func option;
+  hls_c : string option;
+  dse_time_s : float;  (** wall-clock DSE time (0 for non-searching flows) *)
+  dse_cpu_s : float;  (** CPU DSE time *)
+  tile_vectors : (string * int list) list;
+  trace : string list;  (** decision/verification log, in order *)
+}
+
+val init :
+  ?composition:Pom_hls.Resource.composition ->
+  ?latency_mode:Pom_hls.Report.latency_mode ->
+  device:Pom_hls.Device.t ->
+  Func.t ->
+  t
+
+(** Statistics of the most-lowered IR present. *)
+val stats : t -> Stats.t
+
+(** Textual dump of the most-lowered IR present (HLS C, else textual MLIR
+    of the affine level, else the polyhedral program). *)
+val dump : t -> string
+
+(** The specification's own fusion structure ([after]/[fuse] at level >= 1):
+    part of the reference semantics, not a transformation under test. *)
+val structural_directives : Func.t -> Schedule.t list
+
+(** The structural reference program legality is checked against: the
+    unscheduled lowering plus the specification's own fusion structure. *)
+val reference : t -> Pom_polyir.Prog.t
+
+(** Post-pass verification verdict: polyhedral legality against
+    {!reference}, plus functional-simulator divergence when [simulate] is
+    set (expensive — only sensible on small problem sizes). *)
+val verify : ?simulate:bool -> t -> string
+
+(** Pass-manager hooks observing this state: statistics and dumps are wired
+    to {!stats} and {!dump}; [dump_after] and [verify_each]/[simulate] come
+    from the caller (the CLI's [--dump-after] and [--verify-each]). *)
+val instruments :
+  ?dump_after:string list ->
+  ?verify_each:bool ->
+  ?simulate:bool ->
+  unit ->
+  t Pass.instruments

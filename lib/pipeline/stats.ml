@@ -1,0 +1,35 @@
+open Pom_polyir
+
+type t = {
+  stmts : int;
+  constraints : int;
+  loops : int;
+  ops : int;
+  directives : int;
+}
+
+let zero = { stmts = 0; constraints = 0; loops = 0; ops = 0; directives = 0 }
+
+let of_prog (prog : Prog.t) =
+  let stmts = List.length prog.Prog.stmts in
+  let constraints =
+    List.fold_left
+      (fun acc (s : Stmt_poly.t) ->
+        acc + List.length (Pom_poly.Basic_set.constraints s.Stmt_poly.domain))
+      0 prog.Prog.stmts
+  in
+  let loops =
+    List.fold_left
+      (fun acc (s : Stmt_poly.t) ->
+        acc + List.length (Stmt_poly.loop_order s))
+      0 prog.Prog.stmts
+  in
+  { zero with stmts; constraints; loops }
+
+let with_affine (f : Pom_affine.Ir.func) t =
+  let loops, ops = Pom_affine.Ir.counts f.Pom_affine.Ir.body in
+  { t with loops; ops }
+
+let pp ppf t =
+  Format.fprintf ppf "%d stmts, %d constraints, %d loops, %d ops, %d directives"
+    t.stmts t.constraints t.loops t.ops t.directives

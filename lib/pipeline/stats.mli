@@ -1,0 +1,23 @@
+(** IR statistics collected after each pass: enough to see at a glance how
+    a pass changed the program (statement, constraint, loop, and op counts),
+    in the spirit of MLIR's [-pass-statistics]. *)
+
+type t = {
+  stmts : int;  (** polyhedral statements *)
+  constraints : int;  (** affine constraints over all statement domains *)
+  loops : int;
+      (** loop dimensions: schedule depth summed over statements, or affine
+          [For] nodes once the program is lowered *)
+  ops : int;  (** statement ops in the affine body (0 before lowering) *)
+  directives : int;  (** scheduling directives applied so far *)
+}
+
+val zero : t
+
+(** Statistics of a polyhedral-IR program. *)
+val of_prog : Pom_polyir.Prog.t -> t
+
+(** Refine [of_prog] statistics with affine-level loop/op counts. *)
+val with_affine : Pom_affine.Ir.func -> t -> t
+
+val pp : Format.formatter -> t -> unit

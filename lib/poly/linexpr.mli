@@ -3,7 +3,11 @@
     A value represents [sum_i c_i * d_i + k] where each [d_i] is a dimension
     name, [c_i] an integer coefficient, and [k] the constant term.  This is
     the atom from which constraints, sets, maps, and schedules are built,
-    mirroring the role of [isl_aff] in the Integer Set Library. *)
+    mirroring the role of [isl_aff] in the Integer Set Library.
+
+    Values are hash-consed: constructors intern their result, so
+    structurally equal expressions are physically shared and
+    {!equal}/{!compare} short-circuit on physical equality. *)
 
 type t
 
@@ -62,6 +66,10 @@ val div_exact : int -> t -> t
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
+
+(** Number of distinct expressions currently interned (observability for
+    the hash-consing table; resets when the capacity guard trips). *)
+val interned_terms : unit -> int
 
 val pp : Format.formatter -> t -> unit
 

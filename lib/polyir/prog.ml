@@ -28,8 +28,9 @@ let apply t directive =
   | Schedule.Auto_dse -> t
   | _ -> { t with stmts = Transform.apply_directive t.stmts directive }
 
-let of_func func =
-  List.fold_left apply (of_func_unscheduled func) (Func.directives func)
+let apply_all t directives = List.fold_left apply t directives
+
+let of_func func = apply_all (of_func_unscheduled func) (Func.directives func)
 
 let stmt t name =
   match

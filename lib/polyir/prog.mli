@@ -23,6 +23,9 @@ val of_func_unscheduled : Func.t -> t
 (** Apply one more directive. *)
 val apply : t -> Schedule.t -> t
 
+(** Apply a directive list left to right. *)
+val apply_all : t -> Schedule.t list -> t
+
 val stmt : t -> string -> Stmt_poly.t
 
 (** Replace a statement (by name). *)
