@@ -12,6 +12,39 @@ let workloads () =
       (fun (n, f) -> (n, fun _ -> f ()))
       Pom.Workloads.Dnn.by_name
 
+(* --schedule "pipeline s k 1" etc.: whitespace-separated primitive syntax
+   mirroring Table II, applied to the workload before compiling.  Lets the
+   analyzer be demonstrated on directives no built-in workload ships. *)
+let directive_of_string s =
+  let int_of what v =
+    match int_of_string_opt v with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "%s expects an integer, got %s" what v)
+  in
+  match String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") with
+  | [ "interchange"; c; d1; d2 ] -> Pom.Dsl.Schedule.interchange c d1 d2
+  | [ "split"; c; d; f; o; i ] ->
+      Pom.Dsl.Schedule.split c d (int_of "split" f) o i
+  | [ "reverse"; c; d; nd ] -> Pom.Dsl.Schedule.reverse c d nd
+  | [ "pipeline"; c; d; ii ] -> Pom.Dsl.Schedule.pipeline c d (int_of "pipeline" ii)
+  | [ "unroll"; c; d; f ] -> Pom.Dsl.Schedule.unroll c d (int_of "unroll" f)
+  | "partition" :: a :: kind :: factors when factors <> [] ->
+      let kind =
+        match kind with
+        | "cyclic" -> Pom.Dsl.Schedule.Cyclic
+        | "block" -> Pom.Dsl.Schedule.Block
+        | "complete" -> Pom.Dsl.Schedule.Complete
+        | k -> failwith ("unknown partition kind " ^ k)
+      in
+      Pom.Dsl.Schedule.partition a (List.map (int_of "partition") factors) kind
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "cannot parse directive %S (try e.g. \"pipeline s k 1\", \"unroll \
+            s j 4\", \"split s k 8 ko ki\", \"interchange s i j\", \"reverse \
+            s k kr\", \"partition A cyclic 4 4\")"
+           s)
+
 let framework_of_string = function
   | "baseline" -> Ok `Baseline
   | "pluto" -> Ok `Pluto
@@ -21,9 +54,9 @@ let framework_of_string = function
   | "pom" | "pom-auto" -> Ok `Pom_auto
   | s -> Error (`Msg ("unknown framework " ^ s))
 
-let run workload from_c size framework emit_c emit_mlir emit_testbench
-    validate check_legality timeline trace timing dump_after verify_each
-    resource_frac list_workloads =
+let run workload from_c size framework schedules lint werror emit_c emit_mlir
+    emit_testbench validate check_legality timeline trace timing dump_after
+    verify_each resource_frac list_workloads =
   if list_workloads then begin
     List.iter (fun (n, _) -> print_endline n) (workloads ());
     0
@@ -57,6 +90,15 @@ let run workload from_c size framework emit_c emit_mlir emit_testbench
             in
             let dnn = List.mem_assoc workload Pom.Workloads.Dnn.by_name in
             let func = build size in
+            (match
+               List.iter
+                 (fun s -> Pom.Dsl.Func.schedule func (directive_of_string s))
+                 schedules
+             with
+            | () -> ()
+            | exception Failure m ->
+                prerr_endline m;
+                exit 1);
             let c =
               Pom.compile ~device ~framework:fw ~dnn ~dump_after ~verify_each
                 func
@@ -135,7 +177,27 @@ let run workload from_c size framework emit_c emit_mlir emit_testbench
                    (Pom.Affine.Passes.simplify
                       (Pom.Affine.Lower.lower c.Pom.prog)))
             end;
-            0)
+            let diags =
+              if werror then
+                Pom.Analysis.Diagnostic.promote_warnings c.Pom.diags
+              else c.Pom.diags
+            in
+            let has_errors = Pom.Analysis.Diagnostic.has_errors diags in
+            if lint || has_errors then begin
+              if diags <> [] then
+                Format.eprintf "%a@." Pom.Analysis.Diagnostic.pp_list diags;
+              Format.eprintf "analysis:    %s@."
+                (Pom.Analysis.Diagnostic.summary diags)
+            end;
+            if c.Pom.legality_violations > 0 then begin
+              Format.eprintf
+                "legality:    %d reversed dependences — the schedule is \
+                 illegal@."
+                c.Pom.legality_violations;
+              2
+            end
+            else if has_errors then 2
+            else 0)
 
 let from_c_arg =
   Arg.(
@@ -156,6 +218,31 @@ let framework_arg =
     & opt string "pom"
     & info [ "f"; "framework" ]
         ~doc:"One of baseline, pluto, polsca, scalehls, pom-manual, pom.")
+
+let schedule_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "schedule" ] ~docv:"DIRECTIVE"
+        ~doc:
+          "Apply a scheduling primitive before compiling (repeatable), in \
+           the paper's syntax: e.g. 'pipeline s k 1', 'unroll s j 4', \
+           'split s k 8 ko ki', 'interchange s i j', 'reverse s k kr', \
+           'partition A cyclic 4 4'.  Most useful with -f pom-manual.")
+
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Print analyzer diagnostics (IR verifier + dependence-aware \
+           pragma lint); errors always print and fail the compile even \
+           without this flag.")
+
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "Werror" ]
+        ~doc:"Promote analyzer warnings to errors (non-zero exit).")
 
 let emit_c_arg =
   Arg.(value & flag & info [ "emit-c" ] ~doc:"Print the generated HLS C.")
@@ -237,8 +324,9 @@ let cmd =
     (Cmd.info "pom_compile" ~doc)
     Term.(
       const run $ workload_arg $ from_c_arg $ size_arg $ framework_arg
-      $ emit_c_arg $ emit_mlir_arg $ emit_testbench_arg $ validate_arg
-      $ check_legality_arg $ timeline_arg $ trace_arg $ timing_arg
-      $ dump_after_arg $ verify_each_arg $ frac_arg $ list_arg)
+      $ schedule_arg $ lint_arg $ werror_arg $ emit_c_arg $ emit_mlir_arg
+      $ emit_testbench_arg $ validate_arg $ check_legality_arg $ timeline_arg
+      $ trace_arg $ timing_arg $ dump_after_arg $ verify_each_arg $ frac_arg
+      $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

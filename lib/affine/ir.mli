@@ -41,6 +41,10 @@ type array_info = {
 
 type func = { name : string; arrays : array_info list; body : node list }
 
+(** The constant value of a bound with unit coefficient, when its
+    expression is constant. *)
+val const_bound : Pom_poly.Ast.bound -> int option
+
 (** Constant trip count of a loop when both bounds are single constants. *)
 val const_extent : node -> int option
 

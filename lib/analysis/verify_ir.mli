@@ -1,0 +1,35 @@
+(** Static well-formedness verification of the annotated affine dialect and
+    a polyhedral out-of-bounds analysis of the scheduled program — the
+    "ensuring the correctness of the code" layer (Section V-B) extended
+    from schedule legality to the IR itself.
+
+    Codes emitted:
+    - [POM101] (error): an index or loop bound reads an iterator not bound
+      by any enclosing loop.
+    - [POM102] (warning): a loop shadows an enclosing iterator of the same
+      name.
+    - [POM103] (error): an access has a different rank than the array it
+      addresses.
+    - [POM104] (warning): constant loop bounds with [lb > ub] — the loop
+      body is unreachable.
+    - [POM105] (error): duplicate [array_info] entries for one array.
+    - [POM106] (error): [array_info] partition vector malformed (rank
+      mismatch or non-positive factor).
+    - [POM110] (error): an access footprint provably escapes the array
+      extent (the access polyhedron intersected with the complement of the
+      array box is non-empty).
+    - [POM111] (error): the polyhedral bounds analysis itself failed on an
+      access (malformed index space). *)
+
+(** Structural checks on a lowered affine function. *)
+val verify_func : Pom_affine.Ir.func -> Diagnostic.t list
+
+(** Polyhedral out-of-bounds analysis: every (transformed) access of every
+    statement, each array dimension checked against [0 <= idx < extent]
+    via {!Pom_poly.Feasible} emptiness. *)
+val verify_bounds : Pom_polyir.Prog.t -> Diagnostic.t list
+
+(** Both layers.  When [affine] is omitted it is obtained by lowering
+    [prog] (so the check always sees the IR that would be emitted). *)
+val verify :
+  ?affine:Pom_affine.Ir.func -> Pom_polyir.Prog.t -> Diagnostic.t list

@@ -11,6 +11,7 @@ type result = {
   dse_time_s : float;
   tile_vectors : (string * int list) list;
   evaluations : int;
+  pruned : int;
 }
 
 (* Interchange-only transformation stage: fused nests receive a single
@@ -171,9 +172,19 @@ let greedy_pass ?(cache = Memo.global) ?(on_result = fun _ -> ()) () =
           ids
       in
       let evaluations = ref 0 in
+      let pruned = ref 0 in
       let eval () =
         incr evaluations;
         evaluate ~cache ~device ~composition ~latency_mode func base units
+      in
+      let candidate_prog () =
+        let hw =
+          List.concat_map
+            (fun u ->
+              List.concat_map (fun r -> r.Stage2.hw_directives) u.realization)
+            units
+        in
+        List.fold_left Prog.apply (Memo.schedule cache func base) hw
       in
       let current = ref (eval ()) in
       let budget =
@@ -196,6 +207,21 @@ let greedy_pass ?(cache = Memo.global) ?(on_result = fun _ -> ()) () =
                   let saved_par = u.par and saved_real = u.realization in
                   u.par <- par;
                   realize_unit u;
+                  let cur_prog, _, _ = !current in
+                  if
+                    not
+                      (Pom_analysis.Lint.gains_parallelism
+                         ~before:(Pom_analysis.Lint.hw_signature cur_prog)
+                         (candidate_prog ()))
+                  then begin
+                    (* analyzer pre-pruning: factor clamping collapsed this
+                       rung onto the incumbent's realization — same outcome
+                       as factor saturation, minus the synthesis *)
+                    incr pruned;
+                    u.par <- saved_par;
+                    u.realization <- saved_real
+                  end
+                  else begin
                   let ((trial_prog, _, trial_report) as trial) = eval () in
                   let usage = unit_usage ~count:evaluations trial_prog u in
                   let _, _, cur_report = !current in
@@ -216,6 +242,7 @@ let greedy_pass ?(cache = Memo.global) ?(on_result = fun _ -> ()) () =
                     u.par <- saved_par;
                     u.realization <- saved_real;
                     continue_ := false
+                  end
                   end
                 end)
               ladder;
@@ -241,6 +268,7 @@ let greedy_pass ?(cache = Memo.global) ?(on_result = fun _ -> ()) () =
           dse_time_s;
           tile_vectors;
           evaluations = !evaluations;
+          pruned = !pruned;
         };
       {
         st with

@@ -25,6 +25,10 @@ type result = {
   dse_time_s : float;
   tile_vectors : (string * int list) list;
   evaluations : int;
+  pruned : int;
+      (** ladder rungs dropped by the analyzer's pre-pruning oracle before
+          synthesis (treated like factor saturation: backed out, climb
+          continues) *)
 }
 
 (** The flow's passes (interchange, structural fusion, greedy DSE — the

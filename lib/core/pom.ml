@@ -11,6 +11,7 @@ module Baselines = Pom_baselines
 module Workloads = Pom_workloads
 module Cfront = Pom_cfront
 module Pipeline = Pom_pipeline
+module Analysis = Pom_analysis
 
 open Pom_pipeline
 
@@ -27,6 +28,8 @@ type compiled = {
   tile_vectors : (string * int list) list;
   baseline_latency : int;
   passes : Pass.record list;
+  diags : Pom_analysis.Diagnostic.t list;
+  legality_violations : int;
   trace : string list;
 }
 
@@ -56,7 +59,7 @@ let compile ?(device = Pom_hls.Device.xc7z020) ?(framework = `Pom_auto)
   in
   let pipeline =
     head_passes framework
-    @ [ Passes.legality_check () ]
+    @ [ Passes.legality_check (); Passes.lint_pragmas () ]
     @ Passes.tail ()
   in
   let instruments = State.instruments ~dump_after ~verify_each ~simulate () in
@@ -83,6 +86,8 @@ let compile ?(device = Pom_hls.Device.xc7z020) ?(framework = `Pom_auto)
     tile_vectors = st.State.tile_vectors;
     baseline_latency;
     passes = records;
+    diags = st.State.diags;
+    legality_violations = st.State.legality_violations;
     trace = st.State.trace;
   }
 

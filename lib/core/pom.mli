@@ -32,6 +32,7 @@ module Baselines = Pom_baselines
 module Workloads = Pom_workloads
 module Cfront = Pom_cfront
 module Pipeline = Pom_pipeline
+module Analysis = Pom_analysis
 
 (** Which optimization flow to run. *)
 type framework =
@@ -53,6 +54,10 @@ type compiled = {
   baseline_latency : int;
   passes : Pom_pipeline.Pass.record list;
       (** one instrumentation record per executed pass, in order *)
+  diags : Pom_analysis.Diagnostic.t list;
+      (** analyzer diagnostics from the verify-ir and lint-pragmas passes *)
+  legality_violations : int;
+      (** reversed dependences found by the legality-check pass *)
   trace : string list;
       (** decision log: DSE search trace, memo summary, legality verdicts *)
 }

@@ -12,6 +12,7 @@ type result = {
   evaluations : int;
   report_cache_hits : int;
   cold_syntheses : int;
+  pruned : int;
 }
 
 (* ---- parallelism realization for one compute ---- *)
@@ -297,6 +298,18 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
         u.max_par)
     units;
   let iterations = ref 0 in
+  let pruned = ref 0 in
+  (* the analyzer's pre-pruning oracle sees the candidate's scheduled
+     program (cheap: memoized base + directive application) but never its
+     synthesis *)
+  let candidate_prog () =
+    let hw =
+      List.concat_map
+        (fun u -> List.concat_map (fun r -> r.hw_directives) u.realization)
+        units
+    in
+    List.fold_left Prog.apply (Pom_pipeline.Memo.schedule cache func base) hw
+  in
   let continue_ = ref true in
   while !continue_ && !iterations < 60 do
     incr iterations;
@@ -313,6 +326,26 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
             let saved_par = u.par and saved_real = u.realization in
             u.par <- par;
             realize_unit u;
+            let cur_prog, _, _ = !current in
+            if
+              not
+                (Pom_analysis.Lint.gains_parallelism
+                   ~before:(Pom_analysis.Lint.hw_signature cur_prog)
+                   (candidate_prog ()))
+            then begin
+              (* factor clamping collapsed the request onto the incumbent's
+                 realization: identical hardware, identical QoR — skip the
+                 synthesis entirely *)
+              incr pruned;
+              log
+                "iter %d: bottleneck g%d par %d -> %d pruned by the analyzer \
+                 (hardware signature unchanged, synthesis skipped)"
+                !iterations u.id saved_par par;
+              u.par <- saved_par;
+              u.realization <- saved_real;
+              false
+            end
+            else begin
             let trial = evaluate_counted () in
             let _, _, trial_report = trial in
             let _, _, cur_report = !current in
@@ -334,6 +367,7 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
               u.par <- saved_par;
               u.realization <- saved_real;
               false
+            end
             end
           end
         in
@@ -367,6 +401,8 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     report_cache_hits !evaluations cold_syntheses
     (memo1.Pom_pipeline.Memo.schedule_hits
     - memo0.Pom_pipeline.Memo.schedule_hits);
+  if !pruned > 0 then
+    log "analyzer: %d design points pruned before synthesis" !pruned;
   let tile_vectors =
     List.concat_map
       (fun u ->
@@ -385,4 +421,5 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     evaluations = !evaluations;
     report_cache_hits;
     cold_syntheses;
+    pruned = !pruned;
   }

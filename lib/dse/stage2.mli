@@ -45,6 +45,12 @@ type result = {
   report_cache_hits : int;
       (** evaluations served by the report memo instead of a synthesis *)
   cold_syntheses : int;  (** evaluations that ran a full synthesis *)
+  pruned : int;
+      (** candidate design points dropped by the analyzer's pre-pruning
+          oracle ({!Pom_analysis.Lint.parallelism_gain}) without any
+          synthesis: every copy the candidate adds would serialize on a
+          loop-carried dependence, so under the QoR model it cannot beat
+          the incumbent *)
 }
 
 (** [run func stage1] performs the bottleneck-oriented search.

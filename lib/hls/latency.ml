@@ -110,6 +110,8 @@ let rec_mii ~level v =
           else acc)
     1 p.Summary.deps
 
+let recurrence_mii ~level p = rec_mii ~level (view_of ~level p)
+
 (* Port pressure: each access instance generates one port operation per
    distinct address reached within a level-p iteration — the product of the
    inner extents of the dimensions its index actually reads (accesses not

@@ -32,3 +32,16 @@ val eval_program :
 (** Latency of the untransformed, unannotated program (the paper's
     "original C code without any optimization" baseline). *)
 val sequential_latency : Summary.t list -> int
+
+(** Materialized parallel copies of one statement: the product of its
+    unroll factors over the levels that do not carry a dependence (unrolled
+    copies along a dependence-carrying level form a serial chain, not
+    parallelism).  This is the quantity the static analyzer's profitability
+    oracle compares between DSE candidates. *)
+val effective_unroll : Summary.t -> int
+
+(** Recurrence-limited minimum II of one statement when pipelined at
+    [level] (1-based, outermost first): the dependence-chain bound the
+    achieved II can never beat, independent of partitioning.  [1] when no
+    dependence constrains the level. *)
+val recurrence_mii : level:int -> Summary.t -> int

@@ -11,17 +11,15 @@ type counters = {
 type t = {
   schedules : (string, Pom_polyir.Prog.t) Hashtbl.t;
   reports : (string, Pom_polyir.Prog.t * Report.t) Hashtbl.t;
+  max_entries : int;
   c : counters;
 }
 
-(* Past this many entries a table is dropped wholesale: long benchmark
-   sweeps would otherwise retain every design point ever evaluated. *)
-let max_entries = 4096
-
-let create () =
+let create ?(max_entries = 4096) () =
   {
     schedules = Hashtbl.create 256;
     reports = Hashtbl.create 256;
+    max_entries;
     c =
       {
         schedule_hits = 0;
@@ -80,8 +78,10 @@ let device_key (d : Device.t) =
   Printf.sprintf "%s:%d:%d:%d:%d:%g" d.Device.name d.Device.dsp d.Device.lut
     d.Device.ff d.Device.bram_bits d.Device.clock_mhz
 
-let guard_capacity table =
-  if Hashtbl.length table > max_entries then Hashtbl.reset table
+(* Past [max_entries] a table is dropped wholesale: long benchmark sweeps
+   would otherwise retain every design point ever evaluated. *)
+let guard_capacity t table =
+  if Hashtbl.length table > t.max_entries then Hashtbl.reset table
 
 let schedule t func directives =
   let key = func_key func ^ "##" ^ directives_key directives in
@@ -96,7 +96,7 @@ let schedule t func directives =
           (Pom_polyir.Prog.of_func_unscheduled func)
           directives
       in
-      guard_capacity t.schedules;
+      guard_capacity t t.schedules;
       Hashtbl.replace t.schedules key prog;
       prog
 
@@ -124,6 +124,6 @@ let synthesize t ?(composition = Resource.Reuse) ?(latency_mode = `Sequential)
       t.c.report_misses <- t.c.report_misses + 1;
       let prog = make_prog () in
       let report = Report.synthesize ~composition ~latency_mode ~device prog in
-      guard_capacity t.reports;
+      guard_capacity t t.reports;
       Hashtbl.replace t.reports key (prog, report);
       (prog, report)

@@ -22,7 +22,10 @@ type counters = {
 
 type t
 
-val create : unit -> t
+(** [max_entries] (default 4096) bounds each table: exceeding it on insert
+    drops that table wholesale, so long benchmark sweeps do not retain
+    every design point ever evaluated. *)
+val create : ?max_entries:int -> unit -> t
 
 (** The process-wide cache used by default: sharing it across the DSE
     engine, the baselines, and the pipeline's synthesis pass is what lets a

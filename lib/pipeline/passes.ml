@@ -40,8 +40,51 @@ let legality_check () =
   Pass.v ~name:"legality-check"
     ~descr:"prove the schedule preserves every dependence of the spec"
     (fun (st : State.t) ->
-      let verdict = State.verify st in
-      { st with State.trace = st.State.trace @ [ "legality: " ^ verdict ] })
+      match st.State.prog with
+      | None ->
+          {
+            st with
+            State.trace = st.State.trace @ [ "legality: no polyhedral IR yet" ];
+          }
+      | Some prog ->
+          let vs =
+            Pom_polyir.Legality.violations ~original:(State.reference st)
+              ~transformed:prog
+          in
+          let verdict =
+            match vs with
+            | [] -> "legal"
+            | vs -> Printf.sprintf "%d reversed dependences" (List.length vs)
+          in
+          {
+            st with
+            State.legality_violations = List.length vs;
+            trace = st.State.trace @ [ "legality: " ^ verdict ];
+          })
+
+let lint_pragmas () =
+  Pass.v ~name:"lint-pragmas"
+    ~descr:"dependence-aware lint of the requested HLS directives"
+    (fun (st : State.t) ->
+      let ds = Pom_analysis.Lint.lint (prog_exn st "lint-pragmas") in
+      {
+        st with
+        State.diags = st.State.diags @ ds;
+        trace = st.State.trace @ [ "lint: " ^ Pom_analysis.Diagnostic.summary ds ];
+      })
+
+let verify_ir () =
+  Pass.v ~name:"verify-ir"
+    ~descr:"verify the affine IR and prove every access stays in bounds"
+    (fun (st : State.t) ->
+      let prog = prog_exn st "verify-ir" in
+      let ds = Pom_analysis.Verify_ir.verify ?affine:st.State.affine prog in
+      {
+        st with
+        State.diags = st.State.diags @ ds;
+        trace =
+          st.State.trace @ [ "verify-ir: " ^ Pom_analysis.Diagnostic.summary ds ];
+      })
 
 let synthesize () =
   Pass.v ~name:"hls-synthesize"
@@ -84,4 +127,10 @@ let emit_hls_c () =
       | None -> invalid_arg "emit-hls-c: no affine IR in the state")
 
 let tail () =
-  [ synthesize (); affine_lower (); affine_simplify (); emit_hls_c () ]
+  [
+    synthesize ();
+    affine_lower ();
+    affine_simplify ();
+    verify_ir ();
+    emit_hls_c ();
+  ]

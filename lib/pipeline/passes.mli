@@ -22,8 +22,19 @@ val user_schedule : unit -> State.t Pass.t
 val schedule_apply : unit -> State.t Pass.t
 
 (** Check the current program against the structural reference with the
-    polyhedral dependence checker; the verdict is appended to the trace. *)
+    polyhedral dependence checker; the verdict is appended to the trace and
+    the violation count stored in [legality_violations]. *)
 val legality_check : unit -> State.t Pass.t
+
+(** Run {!Pom_analysis.Lint} on the scheduled program: recurrence-II vs
+    requested [pipeline_ii], serializing unrolls, bank conflicts, dead and
+    malformed directives.  Diagnostics accumulate in [diags]. *)
+val lint_pragmas : unit -> State.t Pass.t
+
+(** Run {!Pom_analysis.Verify_ir} on the affine IR (and the polyhedral
+    out-of-bounds analysis on the program).  Diagnostics accumulate in
+    [diags]. *)
+val verify_ir : unit -> State.t Pass.t
 
 (** Synthesize the virtual HLS report for the current design point
     (memoized: a hit when the DSE already evaluated it). *)
@@ -38,5 +49,5 @@ val affine_simplify : unit -> State.t Pass.t
 (** Emit HLS C from the simplified affine program. *)
 val emit_hls_c : unit -> State.t Pass.t
 
-(** The shared tail: synthesize, lower, simplify, emit. *)
+(** The shared tail: synthesize, lower, simplify, verify-ir, emit. *)
 val tail : unit -> State.t Pass.t list

@@ -13,6 +13,8 @@ type t = {
   dse_time_s : float;
   dse_cpu_s : float;
   tile_vectors : (string * int list) list;
+  diags : Pom_analysis.Diagnostic.t list;
+  legality_violations : int;
   trace : string list;
 }
 
@@ -31,6 +33,8 @@ let init ?(composition = Pom_hls.Resource.Reuse) ?(latency_mode = `Sequential)
     dse_time_s = 0.0;
     dse_cpu_s = 0.0;
     tile_vectors = [];
+    diags = [];
+    legality_violations = 0;
     trace = [];
   }
 

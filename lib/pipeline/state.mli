@@ -20,6 +20,10 @@ type t = {
   dse_time_s : float;  (** wall-clock DSE time (0 for non-searching flows) *)
   dse_cpu_s : float;  (** CPU DSE time *)
   tile_vectors : (string * int list) list;
+  diags : Pom_analysis.Diagnostic.t list;
+      (** analyzer output accumulated by the verify/lint passes, in order *)
+  legality_violations : int;
+      (** reversed dependences counted by the legality-check pass *)
   trace : string list;  (** decision/verification log, in order *)
 }
 

@@ -154,9 +154,6 @@ let simplify s =
   let constrs = List.sort_uniq Constr.compare constrs in
   { s with constrs }
 
-let is_obviously_empty s =
-  List.exists Constr.is_contradiction (simplify s).constrs
-
 let bounds_of d s =
   let lowers = ref [] and uppers = ref [] and rest = ref [] in
   List.iter
@@ -187,6 +184,28 @@ let cdiv a b =
 let fdiv a b =
   let q = a / b and r = a mod b in
   if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let is_obviously_empty s =
+  let s = simplify s in
+  List.exists Constr.is_contradiction s.constrs
+  || (* a single variable boxed into a constant [lb > ub] window, read off
+        the single-variable constraints without any elimination *)
+  List.exists
+    (fun d ->
+      let lowers, uppers, _ = bounds_of d s in
+      let const_bound fold div bounds =
+        List.fold_left
+          (fun acc (c, e) ->
+            if Linexpr.is_const e then
+              let v = div (Linexpr.const_of e) c in
+              match acc with None -> Some v | Some a -> Some (fold a v)
+            else acc)
+          None bounds
+      in
+      match (const_bound max cdiv lowers, const_bound min fdiv uppers) with
+      | Some lb, Some ub -> lb > ub
+      | _ -> false)
+    s.dims
 
 let const_range d s =
   let projected = project_onto [ d ] s in

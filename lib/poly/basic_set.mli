@@ -57,8 +57,11 @@ val project_onto : string list -> t -> t
 (** Membership test under a total assignment of the dimensions. *)
 val mem : (string -> int) -> t -> bool
 
-(** Syntactic check for an obviously empty set (a contradictory constant
-    constraint after normalization).  Complete emptiness is in {!Feasible}. *)
+(** Syntactic check for an obviously empty set: a contradictory constant
+    constraint after normalization, or a single variable whose constant
+    lower bound exceeds its constant upper bound (read directly off the
+    single-variable constraints, no elimination).  Complete emptiness is in
+    {!Feasible}. *)
 val is_obviously_empty : t -> bool
 
 (** Remove tautologies and duplicates; detect constant contradictions. *)

@@ -101,6 +101,46 @@ let test_simplify () =
   Alcotest.(check int) "tautologies and duplicates dropped" 1
     (List.length (Basic_set.constraints s'))
 
+let test_obviously_empty () =
+  (* a contradictory constant window on one variable, no elimination needed *)
+  let infeasible =
+    Basic_set.make [ "i"; "j" ]
+      [
+        Constr.ge (v "i") (c 5);
+        Constr.le (v "i") (c 3);
+        Constr.ge (v "j") (c 0);
+      ]
+  in
+  Alcotest.(check bool) "lb 5 > ub 3" true
+    (Basic_set.is_obviously_empty infeasible);
+  Alcotest.(check bool) "feasible box" false
+    (Basic_set.is_obviously_empty (box [ ("i", 0, 4); ("j", 0, 4) ]));
+  (* scaled bounds: 2i >= 7 and 3i <= 10 give the empty window 4..3 *)
+  let scaled =
+    Basic_set.make [ "i" ]
+      [
+        Constr.ge (Linexpr.term 2 "i") (c 7);
+        Constr.le (Linexpr.term 3 "i") (c 10);
+      ]
+  in
+  Alcotest.(check bool) "rounded scaled window" true
+    (Basic_set.is_obviously_empty scaled);
+  (* symbolic bounds are out of scope for the syntactic check even when the
+     set is genuinely empty: that is Feasible's job *)
+  let symbolic =
+    Basic_set.make [ "i"; "n" ]
+      [
+        Constr.ge (v "i") (v "n");
+        Constr.le (v "i") (c 3);
+        Constr.ge (v "n") (c 5);
+        Constr.le (v "n") (c 5);
+      ]
+  in
+  Alcotest.(check bool) "symbolic window left to Feasible" false
+    (Basic_set.is_obviously_empty symbolic);
+  Alcotest.(check bool) "but Feasible proves it empty" true
+    (Feasible.is_empty symbolic)
+
 let test_bounds_of () =
   let s = box [ ("i", 2, 7); ("j", 0, 3) ] in
   let lowers, uppers, rest = Basic_set.bounds_of "i" s in
@@ -157,6 +197,7 @@ let () =
             test_change_space_strip_mine;
           Alcotest.test_case "rename" `Quick test_rename;
           Alcotest.test_case "simplify" `Quick test_simplify;
+          Alcotest.test_case "obvious emptiness" `Quick test_obviously_empty;
           Alcotest.test_case "bounds extraction" `Quick test_bounds_of;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_projection_is_shadow ]);

@@ -1,0 +1,41 @@
+(* Exit-code contract of the pom_compile driver: 0 success, 1 usage errors,
+   2 analyzer/legality failures.  The driver binary is a declared dune
+   dependency, so the tests run against the freshly built executable. *)
+
+(* the driver lives next to this test in the build tree, so resolve it from
+   the test binary itself and stay independent of the runner's cwd *)
+let exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "pom_compile.exe"))
+
+let run args = Sys.command (exe ^ " " ^ args ^ " > /dev/null 2> /dev/null")
+
+let test_success () =
+  Alcotest.(check int) "clean manual compile" 0
+    (run "-w gemm -s 32 -f pom-manual");
+  Alcotest.(check int) "lint warnings alone do not fail the build" 0
+    (run "-w gemm -s 32 -f pom-manual --schedule \"pipeline s k 1\" --lint")
+
+let test_usage_errors () =
+  Alcotest.(check int) "unknown workload" 1 (run "-w no-such-kernel");
+  Alcotest.(check int) "unknown framework" 1 (run "-w gemm -f no-such-flow");
+  Alcotest.(check int) "malformed schedule" 1
+    (run "-w gemm -f pom-manual --schedule \"pipeline s\"")
+
+let test_analysis_failures () =
+  Alcotest.(check int) "--Werror promotes the analyzer warning" 2
+    (run "-w gemm -s 32 -f pom-manual --schedule \"pipeline s k 1\" --Werror");
+  Alcotest.(check int) "illegal schedule (reversed dependences)" 2
+    (run "-w seidel -s 16 -f pom-manual --schedule \"interchange s t j\"")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "success" `Quick test_success;
+          Alcotest.test_case "usage errors" `Quick test_usage_errors;
+          Alcotest.test_case "analysis failures" `Quick test_analysis_failures;
+        ] );
+    ]

@@ -130,6 +130,22 @@ let test_memo_distinguishes_sizes_and_devices () =
   Alcotest.(check int) "different device: distinct report entries" 2
     (Memo.counters cache).Memo.report_misses
 
+let test_memo_capacity_guard () =
+  (* the guard drops a table wholesale once an insert would leave it past
+     [max_entries]: with a bound of 2 the fourth distinct schedule evicts
+     the first three, so re-asking for the first is a miss again *)
+  let cache = Memo.create ~max_entries:2 () in
+  let sizes = [ 8; 12; 16; 24 ] in
+  List.iter (fun n -> ignore (Memo.schedule cache (Polybench.gemm n) [])) sizes;
+  Alcotest.(check int) "four distinct points, four misses" 4
+    (Memo.counters cache).Memo.schedule_misses;
+  ignore (Memo.schedule cache (Polybench.gemm 8) []);
+  Alcotest.(check int) "the evicted entry misses again" 5
+    (Memo.counters cache).Memo.schedule_misses;
+  ignore (Memo.schedule cache (Polybench.gemm 24) []);
+  Alcotest.(check int) "the post-reset entry survives and hits" 1
+    (Memo.counters cache).Memo.schedule_hits
+
 (* -------- the end-to-end compile flows -------- *)
 
 let test_compile_records () =
@@ -141,9 +157,11 @@ let test_compile_records () =
       "stage1-transform";
       "stage2-search";
       "legality-check";
+      "lint-pragmas";
       "hls-synthesize";
       "affine-lower";
       "affine-simplify";
+      "verify-ir";
       "emit-hls-c";
     ]
     names;
@@ -223,6 +241,8 @@ let () =
             test_report_memo_hit_is_free_and_identical;
           Alcotest.test_case "keys distinguish sizes and devices" `Quick
             test_memo_distinguishes_sizes_and_devices;
+          Alcotest.test_case "capacity guard evicts" `Quick
+            test_memo_capacity_guard;
         ] );
       ( "compile",
         [
