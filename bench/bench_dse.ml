@@ -1,0 +1,89 @@
+(* DSE wall-clock benchmark: the two-stage search on the paper kernels at
+   jobs=1 and jobs=N, each measurement on a cold report memo, plus the
+   cross-jobs determinism check (identical directives, tile vectors, and
+   report).  Results go to BENCH_dse.json for the CI smoke job. *)
+
+let size = 512
+
+let kernels =
+  [
+    ("gemm", fun () -> Pom.Workloads.Polybench.gemm size);
+    ("2mm", fun () -> Pom.Workloads.Polybench.mm2 size);
+    ("bicg", fun () -> Pom.Workloads.Polybench.bicg size);
+  ]
+
+let repeats = 3
+
+(* best-of-N, fresh memo per run: a warm cache would hide the search cost *)
+let measure ~jobs build =
+  let best = ref infinity and outcome = ref None in
+  for _ = 1 to repeats do
+    let cache = Pom.Pipeline.Memo.create () in
+    let t0 = Unix.gettimeofday () in
+    let o = Pom.Dse.Engine.run ~cache ~jobs (build ()) in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    outcome := Some o
+  done;
+  (!best, Option.get !outcome)
+
+let directive_strings (o : Pom.Dse.Engine.outcome) =
+  List.map
+    (Format.asprintf "%a" Pom.Dsl.Schedule.pp)
+    o.Pom.Dse.Engine.result.Pom.Dse.Stage2.directives
+
+let same_design (a : Pom.Dse.Engine.outcome) (b : Pom.Dse.Engine.outcome) =
+  let ra = a.Pom.Dse.Engine.result and rb = b.Pom.Dse.Engine.result in
+  directive_strings a = directive_strings b
+  && ra.Pom.Dse.Stage2.tile_vectors = rb.Pom.Dse.Stage2.tile_vectors
+  && ra.Pom.Dse.Stage2.report = rb.Pom.Dse.Stage2.report
+
+let run ?(jobs = max 4 Pom.Par.default_jobs) () =
+  Util.section
+    (Printf.sprintf "BENCH dse | DSE wall clock, jobs=1 vs jobs=%d (size %d)"
+       jobs size);
+  let rows =
+    List.map
+      (fun (name, build) ->
+        let t1, o1 = measure ~jobs:1 build in
+        let tn, on_ = measure ~jobs build in
+        (name, t1, tn, same_design o1 on_))
+      kernels
+  in
+  Util.print_table
+    [
+      "kernel";
+      "jobs=1 (s)";
+      Printf.sprintf "jobs=%d (s)" jobs;
+      "speedup";
+      "identical design";
+    ]
+    (List.map
+       (fun (name, t1, tn, identical) ->
+         [
+           name;
+           Printf.sprintf "%.3f" t1;
+           Printf.sprintf "%.3f" tn;
+           Printf.sprintf "%.2fx" (t1 /. tn);
+           (if identical then "yes" else "NO");
+         ])
+       rows);
+  let oc = open_out "BENCH_dse.json" in
+  Printf.fprintf oc "{\n  \"size\": %d,\n  \"jobs\": %d,\n  \"kernels\": [\n"
+    size jobs;
+  List.iteri
+    (fun i (name, t1, tn, identical) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"wall_s_jobs1\": %.6f, \"wall_s_jobsN\": %.6f, \
+         \"speedup\": %.4f, \"identical_design\": %b }%s\n"
+        name t1 tn (t1 /. tn) identical
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_dse.json\n";
+  if List.exists (fun (_, _, _, identical) -> not identical) rows then begin
+    Printf.eprintf
+      "bench dse: design differs across job counts — determinism broken\n";
+    exit 1
+  end

@@ -7,8 +7,12 @@
      dune exec bench/main.exe <id>       -- one experiment
      dune exec bench/main.exe bechamel   -- only the timing section *)
 
+(* worker-domain budget for the dse experiment (-j/--jobs) *)
+let jobs_flag = ref (max 4 Pom.Par.default_jobs)
+
 let experiments =
   [
+    ("dse", fun () -> Bench_dse.run ~jobs:!jobs_flag ());
     ("fig2", Bench_fig2.run);
     ("table3", Bench_table3.run);
     ("fig11", Bench_fig11.run);
@@ -91,11 +95,24 @@ let run_bechamel () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  let rec strip = function
+    | ("-j" | "--jobs") :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs_flag := j
+        | Some _ | None ->
+            Printf.eprintf "-j expects a positive integer, got %s\n" n;
+            exit 1);
+        strip rest
+    | x :: rest -> x :: strip rest
+    | [] -> []
+  in
+  match strip args with
   | [] ->
       List.iter (fun (_, run) -> run ()) experiments;
       run_bechamel ()
-  | [ "bechamel" ] -> run_bechamel ()
+  | [ "bechamel" ] ->
+      run_bechamel ();
+      Bench_dse.run ~jobs:!jobs_flag ()
   | ids ->
       List.iter
         (fun id ->

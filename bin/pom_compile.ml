@@ -56,7 +56,8 @@ let framework_of_string = function
 
 let run workload from_c size framework schedules lint werror emit_c emit_mlir
     emit_testbench validate check_legality timeline trace timing dump_after
-    verify_each resource_frac list_workloads =
+    verify_each resource_frac jobs list_workloads =
+  Pom.Par.set_jobs jobs;
   if list_workloads then begin
     List.iter (fun (n, _) -> print_endline n) (workloads ());
     0
@@ -101,7 +102,7 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
                 exit 1);
             let c =
               Pom.compile ~device ~framework:fw ~dnn ~dump_after ~verify_each
-                func
+                ~jobs func
             in
             List.iter
               (fun name ->
@@ -315,6 +316,16 @@ let frac_arg =
     & info [ "resource-fraction" ]
         ~doc:"Scale the device resource budget (Fig. 11 sweeps).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int Pom.Par.default_jobs
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker-domain budget for the DSE search and polyhedral analyses \
+           (default: the machine's recommended domain count).  The compiled \
+           design is identical for every N; N=1 runs fully sequentially.")
+
 let list_arg =
   Arg.(value & flag & info [ "list" ] ~doc:"List available workloads.")
 
@@ -327,6 +338,6 @@ let cmd =
       $ schedule_arg $ lint_arg $ werror_arg $ emit_c_arg $ emit_mlir_arg
       $ emit_testbench_arg $ validate_arg $ check_legality_arg $ timeline_arg
       $ trace_arg $ timing_arg $ dump_after_arg $ verify_each_arg $ frac_arg
-      $ list_arg)
+      $ jobs_arg $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -87,12 +87,12 @@ let realize_unit u =
       (fun (c, order, extents) -> Stage2.realize c order extents u.par)
       u.members
 
-let evaluate ~cache ~device ~composition ~latency_mode func base units =
+let evaluate_realized ~cache ~device ~composition ~latency_mode func base
+    realizations =
   let hw =
     List.concat_map
-      (fun u ->
-        List.concat_map (fun r -> r.Stage2.hw_directives) u.realization)
-      units
+      (fun rs -> List.concat_map (fun r -> r.Stage2.hw_directives) rs)
+      realizations
   in
   let prog0 = Memo.schedule cache func base in
   let prog0 = List.fold_left Prog.apply prog0 hw in
@@ -103,6 +103,10 @@ let evaluate ~cache ~device ~composition ~latency_mode func base units =
       (fun () -> List.fold_left Prog.apply prog0 parts)
   in
   (prog, directives, report)
+
+let evaluate ~cache ~device ~composition ~latency_mode func base units =
+  evaluate_realized ~cache ~device ~composition ~latency_mode func base
+    (List.map (fun u -> u.realization) units)
 
 (* Per-unit operator usage — the quantity ScaleHLS's per-loop budget check
    sees (global banking overhead is not in it).  Each check re-profiles the
@@ -130,7 +134,10 @@ let usage_sub (a : Resource.usage) (b : Resource.usage) =
     bram = a.Resource.bram - b.Resource.bram;
   }
 
-let greedy_pass ?(cache = Memo.global) ?(on_result = fun _ -> ()) () =
+let greedy_pass ?(cache = Memo.global) ?jobs ?(on_result = fun _ -> ()) () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pom_par.Par.jobs ()
+  in
   Pass.v ~name:"scalehls-greedy-dse"
     ~descr:"greedy program-order factor-ladder DSE under a dataflow budget"
     (fun (st : State.t) ->
@@ -196,10 +203,55 @@ let greedy_pass ?(cache = Memo.global) ?(on_result = fun _ -> ()) () =
             bram = Resource.bram18_blocks device;
           }
       in
+      (* With a worker budget, warm the report memo for all of a unit's
+         ladder rungs before its greedy walk: a rung evaluation depends only
+         on this unit's degree (the other units' realizations are frozen
+         during the walk), so the whole ladder is known up front.  The walk
+         itself replays the sequential algorithm against warm cache
+         entries — results and counters are unchanged. *)
+      let prefetch_ladder =
+        if jobs <= 1 || Pom_par.Pool.in_worker () then None
+        else
+          Some
+            (fun u ->
+              let realize_at par =
+                List.map
+                  (fun (c, order, extents) ->
+                    Stage2.realize c order extents par)
+                  u.members
+              in
+              let rungs, _ =
+                List.fold_left
+                  (fun (acc, seen) par ->
+                    if par <= u.par then (acc, seen)
+                    else
+                      let r = realize_at par in
+                      if List.mem r seen then (acc, seen)
+                      else ((par, r) :: acc, r :: seen))
+                  ([], [ realize_at u.par ])
+                  ladder
+              in
+              let point (_, r) =
+                List.map
+                  (fun v -> if v.id = u.id then r else v.realization)
+                  units
+              in
+              Pom_par.Par.with_jobs jobs (fun () ->
+                  ignore
+                    (Pom_par.Par.map
+                       (fun rung ->
+                         try
+                           ignore
+                             (evaluate_realized ~cache ~device ~composition
+                                ~latency_mode func base (point rung))
+                         with _ -> ())
+                       (List.rev rungs))))
+      in
       if not huge then
         List.iter
           (fun u ->
             (* greedy: push this unit as far as the remaining budget allows *)
+            (match prefetch_ladder with Some warm -> warm u | None -> ());
             let continue_ = ref true in
             List.iter
               (fun par ->
@@ -280,8 +332,12 @@ let greedy_pass ?(cache = Memo.global) ?(on_result = fun _ -> ()) () =
         dse_cpu_s = st.State.dse_cpu_s +. (Sys.time () -. cpu0);
       })
 
-let passes ?cache ?on_result () =
-  [ interchange_pass (); Passes.structural (); greedy_pass ?cache ?on_result () ]
+let passes ?cache ?jobs ?on_result () =
+  [
+    interchange_pass ();
+    Passes.structural ();
+    greedy_pass ?cache ?jobs ?on_result ();
+  ]
 
 let run ?(device = Device.xc7z020) ?(dnn = false) func =
   let result = ref None in

@@ -35,9 +35,17 @@ type result = {
     greedy pass fills the state's program/report slots itself and reports
     the full search [result] through [on_result]), for embedding in a
     larger pipeline.  Initialize the state with the dataflow composition
-    and the intended latency mode. *)
+    and the intended latency mode.
+
+    [jobs] (default {!Pom_par.Par.jobs}) sets the worker-domain budget of
+    the greedy pass.  With [jobs > 1] each unit's factor ladder is
+    speculatively evaluated concurrently to warm the report memo before the
+    sequential greedy walk replays over it — the chosen design is identical
+    across job counts, and [jobs = 1] reproduces the sequential walk
+    bit-for-bit. *)
 val passes :
   ?cache:Pom_pipeline.Memo.t ->
+  ?jobs:int ->
   ?on_result:(result -> unit) ->
   unit ->
   Pom_pipeline.State.t Pom_pipeline.Pass.t list

@@ -1,3 +1,4 @@
+module Par = Pom_par.Par
 module Poly = Pom_poly
 module Dsl = Pom_dsl
 module Depgraph = Pom_depgraph
@@ -37,18 +38,18 @@ type compiled = {
    synthesize/lower/simplify/emit tail.  Searching flows (`Scalehls,
    `Pom_auto) fill the program slot themselves; the others accumulate
    directives and apply them with the shared schedule-apply pass. *)
-let head_passes framework =
+let head_passes ?jobs framework =
   match framework with
   | `Baseline -> [ Passes.structural (); Passes.schedule_apply () ]
   | `Pluto -> Baselines.Pluto.passes () @ [ Passes.schedule_apply () ]
   | `Polsca -> Baselines.Polsca.passes () @ [ Passes.schedule_apply () ]
-  | `Scalehls -> Baselines.Scalehls.passes ()
+  | `Scalehls -> Baselines.Scalehls.passes ?jobs ()
   | `Pom_manual -> [ Passes.user_schedule (); Passes.schedule_apply () ]
-  | `Pom_auto -> Dse.Engine.passes ()
+  | `Pom_auto -> Dse.Engine.passes ?jobs ()
 
 let compile ?(device = Pom_hls.Device.xc7z020) ?(framework = `Pom_auto)
     ?(dnn = false) ?(dump_after = []) ?(verify_each = false)
-    ?(simulate = false) func =
+    ?(simulate = false) ?jobs func =
   let baseline_latency = Pom_hls.Report.baseline_latency func in
   let composition, latency_mode =
     match framework with
@@ -58,7 +59,7 @@ let compile ?(device = Pom_hls.Device.xc7z020) ?(framework = `Pom_auto)
         (Pom_hls.Resource.Reuse, `Sequential)
   in
   let pipeline =
-    head_passes framework
+    head_passes ?jobs framework
     @ [ Passes.legality_check (); Passes.lint_pragmas () ]
     @ Passes.tail ()
   in

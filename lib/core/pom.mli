@@ -19,6 +19,11 @@
 
 (** Re-exported subsystem entry points. *)
 
+(** The parallel-execution budget: {!Par.set_jobs}/{!Par.with_jobs} set the
+    process-wide worker-domain count used by the searching flows and the
+    polyhedral analyses ([1] = fully sequential). *)
+module Par = Pom_par.Par
+
 module Poly = Pom_poly
 module Dsl = Pom_dsl
 module Depgraph = Pom_depgraph
@@ -70,7 +75,12 @@ type compiled = {
     matching {!Pipeline.Pass.record} ([["all"]] captures every pass);
     [verify_each] re-checks polyhedral legality after every pass, and
     [simulate] additionally runs the functional simulator (small problem
-    sizes only). *)
+    sizes only).
+
+    [jobs] (default {!Par.jobs}) sets the worker-domain budget of the
+    searching flows ([`Scalehls], [`Pom_auto]); the compiled design is
+    identical across job counts, and [jobs = 1] reproduces the sequential
+    search bit-for-bit. *)
 val compile :
   ?device:Pom_hls.Device.t ->
   ?framework:framework ->
@@ -78,6 +88,7 @@ val compile :
   ?dump_after:string list ->
   ?verify_each:bool ->
   ?simulate:bool ->
+  ?jobs:int ->
   Pom_dsl.Func.t ->
   compiled
 

@@ -8,19 +8,23 @@ type outcome = {
   records : Pass.record list;
 }
 
-let passes ?par_cap ?bank_cap ?steps ?cache ?(on_stage1 = fun _ -> ())
+(* Stage 1's output travels from the stage1-transform pass to the
+   stage2-search pass inside the shared compile state, so the handoff works
+   however the caller assembles or reorders the pipeline — no hidden mutable
+   coupling between the two pass closures. *)
+type State.ext += Stage1_output of Stage1.t
+
+let passes ?par_cap ?bank_cap ?steps ?cache ?jobs ?(on_stage1 = fun _ -> ())
     ?(on_result = fun _ -> ()) () =
-  let stage1_of = ref None in
   [
     Pass.v ~name:"stage1-transform"
       ~descr:"dependence-aware code transformation (DSE stage 1)"
       (fun (st : State.t) ->
         let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
         let s1 = Stage1.run st.State.func in
-        stage1_of := Some s1;
         on_stage1 s1;
         {
-          st with
+          (State.add_ext (Stage1_output s1) st) with
           State.directives = st.State.directives @ s1.Stage1.directives;
           dse_time_s = st.State.dse_time_s +. (Unix.gettimeofday () -. wall0);
           dse_cpu_s = st.State.dse_cpu_s +. (Sys.time () -. cpu0);
@@ -29,15 +33,34 @@ let passes ?par_cap ?bank_cap ?steps ?cache ?(on_stage1 = fun _ -> ())
       ~descr:"bottleneck-oriented optimization (DSE stage 2, memoized QoR)"
       (fun (st : State.t) ->
         let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
-        let s1 =
-          match !stage1_of with
-          | Some s1 -> s1
-          | None -> Stage1.run st.State.func
+        let s1, st =
+          match
+            State.find_ext
+              (function Stage1_output s1 -> Some s1 | _ -> None)
+              st
+          with
+          | Some s1 -> (s1, st)
+          | None ->
+              (* running stage 2 without stage 1 in the pipeline is legal
+                 (the searches compose over the unscheduled program), but
+                 recomputing must be observable, not silent *)
+              let s1 = Stage1.run st.State.func in
+              on_stage1 s1;
+              ( s1,
+                {
+                  st with
+                  State.trace =
+                    st.State.trace
+                    @ [
+                        "stage2: no stage-1 output in the pipeline state; \
+                         recomputed";
+                      ];
+                } )
         in
         let r =
           Stage2.run ~device:st.State.device
             ~composition:st.State.composition ?par_cap ?bank_cap ?steps ?cache
-            st.State.func s1
+            ?jobs st.State.func s1
         in
         on_result r;
         {
@@ -53,13 +76,13 @@ let passes ?par_cap ?bank_cap ?steps ?cache ?(on_stage1 = fun _ -> ())
   ]
 
 let run ?(device = Pom_hls.Device.xc7z020) ?composition ?par_cap ?bank_cap
-    ?steps ?cache func =
+    ?steps ?cache ?jobs func =
   (* Sys.time is CPU time; the Table III "DSE time" column is wall clock,
      so measure both and report them separately. *)
   let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
   let stage1 = ref None and result = ref None in
   let pipeline =
-    passes ?par_cap ?bank_cap ?steps ?cache
+    passes ?par_cap ?bank_cap ?steps ?cache ?jobs
       ~on_stage1:(fun s1 -> stage1 := Some s1)
       ~on_result:(fun r -> result := Some r)
       ()

@@ -13,6 +13,13 @@ type outcome = {
   records : Pom_pipeline.Pass.record list;  (** per-pass instrumentation *)
 }
 
+(** Stage 1's output, threaded through {!Pom_pipeline.State.t}[.ext] from
+    the stage1-transform pass to the stage2-search pass.  When the stage 2
+    pass finds no such extension in the state (the caller assembled a
+    pipeline without stage 1), it recomputes — loudly, with a trace line and
+    an [on_stage1] notification. *)
+type Pom_pipeline.State.ext += Stage1_output of Stage1.t
+
 (** The engine's two passes over the shared compile state, for embedding in
     a larger pipeline (the [`Pom_auto] compile flow).  The device and
     composition are read from the state; [on_stage1]/[on_result] observe the
@@ -22,11 +29,14 @@ val passes :
   ?bank_cap:int ->
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
+  ?jobs:int ->
   ?on_stage1:(Stage1.t -> unit) ->
   ?on_result:(Stage2.result -> unit) ->
   unit ->
   Pom_pipeline.State.t Pom_pipeline.Pass.t list
 
+(** [jobs] is forwarded to {!Stage2.run}; the chosen design is identical
+    across job counts (see {!Stage2.run}). *)
 val run :
   ?device:Pom_hls.Device.t ->
   ?composition:Pom_hls.Resource.composition ->
@@ -34,5 +44,6 @@ val run :
   ?bank_cap:int ->
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
+  ?jobs:int ->
   Pom_dsl.Func.t ->
   outcome

@@ -213,11 +213,12 @@ let realize_unit u =
    application is served by the schedule memo after the first evaluation;
    the full design point (base + hardware + partitioning) keys the report
    memo, so re-asking for an already-evaluated point costs a lookup. *)
-let evaluate ?bank_cap ~cache ~device ~composition func base_directives units =
+let evaluate_realized ?bank_cap ~cache ~device ~composition func
+    base_directives realizations =
   let hw =
     List.concat_map
-      (fun u -> List.concat_map (fun r -> r.hw_directives) u.realization)
-      units
+      (fun rs -> List.concat_map (fun r -> r.hw_directives) rs)
+      realizations
   in
   let prog0 = Pom_pipeline.Memo.schedule cache func base_directives in
   let prog0 = List.fold_left Prog.apply prog0 hw in
@@ -228,6 +229,66 @@ let evaluate ?bank_cap ~cache ~device ~composition func base_directives units =
       (fun () -> List.fold_left Prog.apply prog0 parts)
   in
   (prog, directives, report)
+
+let evaluate ?bank_cap ~cache ~device ~composition func base_directives units =
+  evaluate_realized ?bank_cap ~cache ~device ~composition func base_directives
+    (List.map (fun u -> u.realization) units)
+
+(* ---- speculative evaluation of the search frontier ---- *)
+
+let unit_realizes u par =
+  List.map (fun (c, order, extents) -> realize c order extents par) u.members
+
+(* Whether stepping [u] from [from_par] to [to_par] produces different
+   hardware at all: factor clamping can collapse a larger request onto the
+   same realization, which the search prunes without synthesizing — so the
+   frontier skips it too. *)
+let realization_changes u ~from_par ~to_par =
+  unit_realizes u to_par <> unit_realizes u from_par
+
+(* The speculative frontier: parallelism vectors reachable from the
+   incumbent within [depth] accepted steps, in deterministic DFS order,
+   capped at [cap] points.  Evaluating the frontier concurrently warms the
+   report memo; the search itself then replays the exact sequential
+   algorithm against warm entries, which is what keeps --jobs N results
+   identical to --jobs 1. *)
+let frontier ~steps ~depth ~cap units =
+  let ua = Array.of_list units in
+  let base = Array.map (fun u -> u.par) ua in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let n_out = ref 0 in
+  let rec expand d pars =
+    if d < depth then
+      Array.iteri
+        (fun i u ->
+          if u.active && !n_out < cap then
+            List.iter
+              (fun p ->
+                if
+                  p > pars.(i)
+                  && p <= u.max_par
+                  && !n_out < cap
+                  && realization_changes u ~from_par:pars.(i) ~to_par:p
+                then begin
+                  let next = Array.copy pars in
+                  next.(i) <- p;
+                  let key = Array.to_list next in
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.add seen key ();
+                    out := next :: !out;
+                    incr n_out;
+                    expand (d + 1) next
+                  end
+                end)
+              (steps pars.(i)))
+        ua
+  in
+  expand 0 base;
+  List.rev !out
+
+let realizations_of units pars =
+  List.mapi (fun i u -> unit_realizes u pars.(i)) units
 
 (* ---- the bottleneck-oriented search ---- *)
 
@@ -277,16 +338,38 @@ let default_steps par = [ par * 2; par * 3 / 2 ]
 
 let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     ?(par_cap = 64) ?bank_cap ?(steps = default_steps)
-    ?(cache = Pom_pipeline.Memo.global) func (stage1 : Stage1.t) =
+    ?(cache = Pom_pipeline.Memo.global) ?(jobs = Pom_par.Par.jobs ()) func
+    (stage1 : Stage1.t) =
+  let jobs = max 1 jobs in
   let memo0 = Pom_pipeline.Memo.snapshot cache in
   let base = stage1.Stage1.directives in
   let prog_base = Pom_pipeline.Memo.schedule cache func base in
   let units = units_of prog_base ~par_cap in
   let paths = Pom_depgraph.Graph.data_paths (Pom_depgraph.Graph.build func) in
   let evaluations = ref 0 in
-  let evaluate_counted () =
+  (* Hit/miss accounting is per sequential evaluation (the speculative warm
+     below is synchronous, so these deltas are exclusively the search's
+     own): at jobs > 1 the raw memo counters also carry speculative
+     traffic, which must not inflate the "served from cache" headline. *)
+  let search_hits = ref 0 and search_misses = ref 0 in
+  let counted thunk =
     incr evaluations;
-    evaluate ?bank_cap ~cache ~device ~composition func base units
+    let before = Pom_pipeline.Memo.snapshot cache in
+    let r = thunk () in
+    let after = Pom_pipeline.Memo.snapshot cache in
+    search_hits :=
+      !search_hits
+      + (after.Pom_pipeline.Memo.report_hits
+        - before.Pom_pipeline.Memo.report_hits);
+    search_misses :=
+      !search_misses
+      + (after.Pom_pipeline.Memo.report_misses
+        - before.Pom_pipeline.Memo.report_misses);
+    r
+  in
+  let evaluate_counted () =
+    counted (fun () ->
+        evaluate ?bank_cap ~cache ~device ~composition func base units)
   in
   let current = ref (evaluate_counted ()) in
   let trace = ref [] in
@@ -297,6 +380,34 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
         (String.concat ", " (List.map (fun (c, _, _) -> c) u.members))
         u.max_par)
     units;
+  (* Speculation: before each sequential decision, evaluate the candidate
+     frontier concurrently purely to warm the report memo.  Failures are
+     swallowed — a speculative point the sequential search would never reach
+     must not be able to abort the search — and nothing below mutates the
+     search state, so the replayed decisions (and every counter the replay
+     increments) are exactly those of the sequential algorithm. *)
+  let prefetch =
+    if jobs <= 1 || Pom_par.Pool.in_worker () then None
+    else begin
+      let depth = min 3 (max 1 (jobs - 1)) in
+      let cap = 4 * jobs in
+      log "parallel: %d-way speculative evaluation (frontier depth %d, cap %d)"
+        jobs depth cap;
+      Some
+        (fun () ->
+          let cands = frontier ~steps ~depth ~cap units in
+          Pom_par.Par.with_jobs jobs (fun () ->
+              ignore
+                (Pom_par.Par.map
+                   (fun pars ->
+                     try
+                       ignore
+                         (evaluate_realized ?bank_cap ~cache ~device
+                            ~composition func base (realizations_of units pars))
+                     with _ -> ())
+                   cands)))
+    end
+  in
   let iterations = ref 0 in
   let pruned = ref 0 in
   (* the analyzer's pre-pruning oracle sees the candidate's scheduled
@@ -313,6 +424,7 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
   let continue_ = ref true in
   while !continue_ && !iterations < 60 do
     incr iterations;
+    (match prefetch with Some warm -> warm () | None -> ());
     let _, _, report = !current in
     match critical_bottleneck ~report ~paths units with
     | None -> continue_ := false
@@ -382,19 +494,14 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
      evaluated it, so this final QoR query is served from cache — the same
      mechanism that makes any later re-synthesis of this point (the compile
      pipeline's hls-synthesize pass, a --trace re-run) free. *)
-  incr evaluations;
   let prog, report =
-    Pom_pipeline.Memo.synthesize cache ~composition ~device ~directives func
-      (fun () -> prog0)
+    counted (fun () ->
+        Pom_pipeline.Memo.synthesize cache ~composition ~device ~directives
+          func (fun () -> prog0))
   in
   let memo1 = Pom_pipeline.Memo.snapshot cache in
-  let report_cache_hits =
-    memo1.Pom_pipeline.Memo.report_hits - memo0.Pom_pipeline.Memo.report_hits
-  in
-  let cold_syntheses =
-    memo1.Pom_pipeline.Memo.report_misses
-    - memo0.Pom_pipeline.Memo.report_misses
-  in
+  let report_cache_hits = !search_hits in
+  let cold_syntheses = !search_misses in
   log
     "memo: %d of %d QoR evaluations served from cache (%d cold syntheses, %d \
      schedule-prefix hits)"

@@ -60,7 +60,15 @@ type result = {
     the candidate degrees to try, first hit wins (default: double, then
     1.5x as a fallback).  Every QoR evaluation goes through [cache]
     (default {!Pom_pipeline.Memo.global}): the base-directive prefix is
-    applied once, and re-requested design points skip synthesis. *)
+    applied once, and re-requested design points skip synthesis.
+
+    [jobs] (default {!Pom_par.Par.jobs}) sets the worker-domain budget.
+    With [jobs > 1] the search speculatively evaluates the candidate
+    frontier (the design points reachable within a few accepted steps)
+    concurrently to warm the report memo, then replays the exact sequential
+    decision sequence against the warm cache — so the chosen directives,
+    tile vectors, and report are identical across job counts, and
+    [jobs = 1] reproduces the sequential search bit-for-bit. *)
 val run :
   ?device:Pom_hls.Device.t ->
   ?composition:Pom_hls.Resource.composition ->
@@ -68,6 +76,7 @@ val run :
   ?bank_cap:int ->
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
+  ?jobs:int ->
   Func.t ->
   Stage1.t ->
   result

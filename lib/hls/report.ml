@@ -21,13 +21,13 @@ type latency_mode = [ `Sequential | `Dataflow ]
 (* Process-wide count of full (cold) syntheses, so callers layering a memo
    on top of [synthesize] can check that a cache hit really skipped the
    model evaluation. *)
-let synth_counter = ref 0
+let synth_counter = Atomic.make 0
 
-let synth_count () = !synth_counter
+let synth_count () = Atomic.get synth_counter
 
 let synthesize ?(composition = Resource.Reuse) ?(latency_mode = `Sequential)
     ~device prog =
-  incr synth_counter;
+  Atomic.incr synth_counter;
   let profiles = Summary.profile_all prog in
   let partitions = partition_fn prog in
   let evals, latency = Latency.eval_program ~partitions profiles in

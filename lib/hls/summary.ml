@@ -41,8 +41,14 @@ let ordered_domain (s : Stmt_poly.t) =
 
 (* Dependence analysis dominates profiling cost and depends only on the
    domain, schedule, and index map — not the hardware attributes the DSE
-   mutates between trials — so it memoizes well across a search. *)
+   mutates between trials — so it memoizes well across a search.  Parallel
+   candidate evaluation synthesizes on worker domains, so the cache is
+   mutex-guarded; the analysis itself runs outside the lock (racing domains
+   may compute the same entry twice — the results are equal, last write
+   wins). *)
 let dep_cache : (string, dep list) Hashtbl.t = Hashtbl.create 256
+
+let dep_cache_lock = Mutex.create ()
 
 let analyze_deps_uncached (s : Stmt_poly.t) =
   let domain = ordered_domain s in
@@ -64,12 +70,17 @@ let analyze_deps_uncached (s : Stmt_poly.t) =
 
 let analyze_deps (s : Stmt_poly.t) =
   let key = Format.asprintf "%a" Stmt_poly.pp { s with Stmt_poly.hw = Stmt_poly.no_hw } in
-  match Hashtbl.find_opt dep_cache key with
+  Mutex.lock dep_cache_lock;
+  let cached = Hashtbl.find_opt dep_cache key in
+  Mutex.unlock dep_cache_lock;
+  match cached with
   | Some deps -> deps
   | None ->
       let deps = analyze_deps_uncached s in
+      Mutex.lock dep_cache_lock;
       if Hashtbl.length dep_cache > 20_000 then Hashtbl.reset dep_cache;
-      Hashtbl.add dep_cache key deps;
+      Hashtbl.replace dep_cache key deps;
+      Mutex.unlock dep_cache_lock;
       deps
 
 let of_stmt _prog (s : Stmt_poly.t) =

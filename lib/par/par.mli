@@ -1,0 +1,38 @@
+(** Process-wide parallel-execution configuration.
+
+    The compiler's hot layers (DSE candidate evaluation, dependence analysis,
+    bounds verification) call {!map}/{!filter_map} instead of [List.map]:
+    with [jobs () <= 1], or from inside a pool task (nested parallelism),
+    these are exactly [List.map]/[List.filter_map] — same order, same
+    exceptions, zero overhead — so [--jobs 1] reproduces the sequential
+    compiler bit-for-bit.  With [jobs () > 1] they run on a lazily-created
+    shared {!Pool.t}, preserving input order and exception behaviour. *)
+
+module Pool = Pool
+
+(** What [Domain.recommended_domain_count ()] reported at startup; the
+    initial value of [jobs ()]. *)
+val default_jobs : int
+
+(** Current worker budget for the convenience wrappers. *)
+val jobs : unit -> int
+
+(** [set_jobs n] clamps [n] to at least 1 and makes it the budget for
+    subsequent {!map}/{!filter_map}/{!pool} calls.  Pools of other sizes are
+    torn down lazily on next use. *)
+val set_jobs : int -> unit
+
+(** [with_jobs n f] runs [f] with the budget set to [n], restoring the
+    previous budget afterwards (also on exceptions). *)
+val with_jobs : int -> (unit -> 'a) -> 'a
+
+(** The shared pool at the current budget, created (or resized) on demand.
+    Do not [Pool.shutdown] it; it is reclaimed at process exit. *)
+val pool : unit -> Pool.t
+
+(** Order-preserving parallel map over the shared pool; sequential when the
+    budget is 1 or when already inside a pool task. *)
+val map : ('a -> 'b) -> 'a list -> 'b list
+
+(** As {!map} for [List.filter_map]. *)
+val filter_map : ('a -> 'b option) -> 'a list -> 'b list

@@ -8,10 +8,20 @@ type counters = {
   mutable report_misses : int;
 }
 
+(* A table entry is either a settled value or a claim by the domain that is
+   computing it.  Claims are what keep the counters deterministic under
+   parallel DSE evaluation: when several domains race on one key, exactly one
+   counts a miss and computes; the rest block on [changed] and count hits, so
+   a batch of candidate evaluations costs one miss per distinct design point
+   regardless of scheduling. *)
+type 'v slot = Done of 'v | Inflight
+
 type t = {
-  schedules : (string, Pom_polyir.Prog.t) Hashtbl.t;
-  reports : (string, Pom_polyir.Prog.t * Report.t) Hashtbl.t;
+  schedules : (string, Pom_polyir.Prog.t slot) Hashtbl.t;
+  reports : (string, (Pom_polyir.Prog.t * Report.t) slot) Hashtbl.t;
   max_entries : int;
+  lock : Mutex.t;
+  changed : Condition.t; (* a slot settled, was abandoned, or a table reset *)
   c : counters;
 }
 
@@ -20,6 +30,8 @@ let create ?(max_entries = 4096) () =
     schedules = Hashtbl.create 256;
     reports = Hashtbl.create 256;
     max_entries;
+    lock = Mutex.create ();
+    changed = Condition.create ();
     c =
       {
         schedule_hits = 0;
@@ -31,19 +43,27 @@ let create ?(max_entries = 4096) () =
 
 let global = create ()
 
-let counters t = t.c
-
 let snapshot t =
-  {
-    schedule_hits = t.c.schedule_hits;
-    schedule_misses = t.c.schedule_misses;
-    report_hits = t.c.report_hits;
-    report_misses = t.c.report_misses;
-  }
+  Mutex.lock t.lock;
+  let c =
+    {
+      schedule_hits = t.c.schedule_hits;
+      schedule_misses = t.c.schedule_misses;
+      report_hits = t.c.report_hits;
+      report_misses = t.c.report_misses;
+    }
+  in
+  Mutex.unlock t.lock;
+  c
+
+let counters = snapshot
 
 let clear t =
+  Mutex.lock t.lock;
   Hashtbl.reset t.schedules;
-  Hashtbl.reset t.reports
+  Hashtbl.reset t.reports;
+  Condition.broadcast t.changed;
+  Mutex.unlock t.lock
 
 (* The function fingerprint covers everything directive application and
    synthesis can observe: iterator extents, array shapes and types, and the
@@ -79,26 +99,66 @@ let device_key (d : Device.t) =
     d.Device.ff d.Device.bram_bits d.Device.clock_mhz
 
 (* Past [max_entries] a table is dropped wholesale: long benchmark sweeps
-   would otherwise retain every design point ever evaluated. *)
+   would otherwise retain every design point ever evaluated.  Only settled
+   entries count — in-flight claims are transient and must not trigger (or
+   survive in a meaningful way) a reset; a claim dropped by a reset is
+   re-established when its computation lands. *)
 let guard_capacity t table =
-  if Hashtbl.length table > t.max_entries then Hashtbl.reset table
+  let settled =
+    Hashtbl.fold
+      (fun _ s n -> match s with Done _ -> n + 1 | Inflight -> n)
+      table 0
+  in
+  if settled > t.max_entries then Hashtbl.reset table
+
+(* [memoize t table key ~hit ~miss compute]: hit on a settled slot (waiting
+   out another domain's claim counts as a hit — the value is shared, not
+   recomputed); otherwise claim, count a miss, and compute with the lock
+   released.  An abandoned claim (compute raised) is withdrawn so waiters
+   retry instead of hanging. *)
+let memoize t table key ~hit ~miss compute =
+  Mutex.lock t.lock;
+  let rec settle () =
+    match Hashtbl.find_opt table key with
+    | Some (Done v) ->
+        hit t.c;
+        Mutex.unlock t.lock;
+        v
+    | Some Inflight ->
+        Condition.wait t.changed t.lock;
+        settle ()
+    | None -> (
+        miss t.c;
+        Hashtbl.replace table key Inflight;
+        Mutex.unlock t.lock;
+        match compute () with
+        | v ->
+            Mutex.lock t.lock;
+            guard_capacity t table;
+            Hashtbl.replace table key (Done v);
+            Condition.broadcast t.changed;
+            Mutex.unlock t.lock;
+            v
+        | exception e ->
+            Mutex.lock t.lock;
+            (match Hashtbl.find_opt table key with
+            | Some Inflight -> Hashtbl.remove table key
+            | _ -> ());
+            Condition.broadcast t.changed;
+            Mutex.unlock t.lock;
+            raise e)
+  in
+  settle ()
 
 let schedule t func directives =
   let key = func_key func ^ "##" ^ directives_key directives in
-  match Hashtbl.find_opt t.schedules key with
-  | Some prog ->
-      t.c.schedule_hits <- t.c.schedule_hits + 1;
-      prog
-  | None ->
-      t.c.schedule_misses <- t.c.schedule_misses + 1;
-      let prog =
-        Pom_polyir.Prog.apply_all
-          (Pom_polyir.Prog.of_func_unscheduled func)
-          directives
-      in
-      guard_capacity t t.schedules;
-      Hashtbl.replace t.schedules key prog;
-      prog
+  memoize t t.schedules key
+    ~hit:(fun c -> c.schedule_hits <- c.schedule_hits + 1)
+    ~miss:(fun c -> c.schedule_misses <- c.schedule_misses + 1)
+    (fun () ->
+      Pom_polyir.Prog.apply_all
+        (Pom_polyir.Prog.of_func_unscheduled func)
+        directives)
 
 let synthesize t ?(composition = Resource.Reuse) ?(latency_mode = `Sequential)
     ~device ~directives func make_prog =
@@ -116,14 +176,10 @@ let synthesize t ?(composition = Resource.Reuse) ?(latency_mode = `Sequential)
         | `Dataflow -> "dataflow");
       ]
   in
-  match Hashtbl.find_opt t.reports key with
-  | Some cached ->
-      t.c.report_hits <- t.c.report_hits + 1;
-      cached
-  | None ->
-      t.c.report_misses <- t.c.report_misses + 1;
+  memoize t t.reports key
+    ~hit:(fun c -> c.report_hits <- c.report_hits + 1)
+    ~miss:(fun c -> c.report_misses <- c.report_misses + 1)
+    (fun () ->
       let prog = make_prog () in
       let report = Report.synthesize ~composition ~latency_mode ~device prog in
-      guard_capacity t t.reports;
-      Hashtbl.replace t.reports key (prog, report);
-      (prog, report)
+      (prog, report))

@@ -1,5 +1,10 @@
 open Pom_dsl
 
+(* Open extension point: flows built on top of the pipeline (e.g. the DSE
+   engine) thread their own intermediate results through the state without
+   this library depending on their types. *)
+type ext = ..
+
 type t = {
   device : Pom_hls.Device.t;
   composition : Pom_hls.Resource.composition;
@@ -16,7 +21,12 @@ type t = {
   diags : Pom_analysis.Diagnostic.t list;
   legality_violations : int;
   trace : string list;
+  ext : ext list;
 }
+
+let add_ext e t = { t with ext = e :: t.ext }
+
+let find_ext f t = List.find_map f t.ext
 
 let init ?(composition = Pom_hls.Resource.Reuse) ?(latency_mode = `Sequential)
     ~device func =
@@ -36,6 +46,7 @@ let init ?(composition = Pom_hls.Resource.Reuse) ?(latency_mode = `Sequential)
     diags = [];
     legality_violations = 0;
     trace = [];
+    ext = [];
   }
 
 let stats t =

@@ -7,6 +7,13 @@
 
 open Pom_dsl
 
+(** Open extension point for flow-private intermediate results: a flow
+    declares its own [State.ext += ...] constructor and threads values
+    through {!t.ext} between its passes (e.g. the DSE engine hands stage 1's
+    output to the stage 2 pass this way), without this library depending on
+    the flow's types. *)
+type ext = ..
+
 type t = {
   device : Pom_hls.Device.t;
   composition : Pom_hls.Resource.composition;
@@ -25,7 +32,14 @@ type t = {
   legality_violations : int;
       (** reversed dependences counted by the legality-check pass *)
   trace : string list;  (** decision/verification log, in order *)
+  ext : ext list;  (** flow-private extensions, most recent first *)
 }
+
+(** Prepend an extension value. *)
+val add_ext : ext -> t -> t
+
+(** First extension value recognized by [f], most recent first. *)
+val find_ext : (ext -> 'a option) -> t -> 'a option
 
 val init :
   ?composition:Pom_hls.Resource.composition ->

@@ -1,4 +1,8 @@
-type t = { dims : string list; constrs : Constr.t list }
+(* [simplified] memoizes {!simplify}: it records that [constrs] is already
+   in compact form (normalized, sorted, deduplicated, redundancy-pruned).
+   Constraint lists are immutable, so the flag is monotone — it never has to
+   be cleared, only left [false] by constructors that may break the form. *)
+type t = { dims : string list; constrs : Constr.t list; mutable simplified : bool }
 
 let check_dims dims =
   let sorted = List.sort String.compare dims in
@@ -22,11 +26,11 @@ let check_constr dims c =
 let make dims constrs =
   check_dims dims;
   List.iter (check_constr dims) constrs;
-  { dims; constrs }
+  { dims; constrs; simplified = false }
 
 let universe dims =
   check_dims dims;
-  { dims; constrs = [] }
+  { dims; constrs = []; simplified = true }
 
 let dims s = s.dims
 
@@ -36,14 +40,14 @@ let constraints s = s.constrs
 
 let add_constraint c s =
   check_constr s.dims c;
-  { s with constrs = c :: s.constrs }
+  { s with constrs = c :: s.constrs; simplified = false }
 
 let add_constraints cs s = List.fold_left (fun s c -> add_constraint c s) s cs
 
 let intersect a b =
   if a.dims <> b.dims then
     invalid_arg "Basic_set.intersect: dimension tuples differ";
-  { a with constrs = a.constrs @ b.constrs }
+  { a with constrs = a.constrs @ b.constrs; simplified = false }
 
 let rename_dim old_name new_name s =
   if old_name = new_name then s
@@ -53,18 +57,78 @@ let rename_dim old_name new_name s =
     {
       dims = List.map (fun d -> if d = old_name then new_name else d) s.dims;
       constrs = List.map (Constr.rename_dim old_name new_name) s.constrs;
+      (* renaming can reorder the sort (constraints sort by dimension
+         name), so the compact form is not preserved *)
+      simplified = false;
     }
   end
 
 let change_space ~new_dims ~bindings ?(extra = []) s =
   check_dims new_dims;
   let constrs = List.map (Constr.subst_all bindings) s.constrs in
-  let result = { dims = new_dims; constrs = constrs @ extra } in
+  let result = { dims = new_dims; constrs = constrs @ extra; simplified = false } in
   List.iter (check_constr new_dims) result.constrs;
   result
 
+(* The expression minus its constant part: two constraints with the same
+   gradient bound the same hyperplane direction. *)
+let gradient e = Linexpr.sub e (Linexpr.const (Linexpr.const_of e))
+
+(* Compact form: normalize every constraint (dropping tautologies, turning
+   violated constant constraints into the canonical contradiction [-1 >= 0]),
+   sort and deduplicate, then prune pairwise-redundant inequalities.
+   [Constr.compare] sorts all equalities first, then inequalities by
+   (gradient, constant) — so a run of inequalities sharing a gradient starts
+   with the smallest constant, which is the tightest bound ([g + k >= 0] is
+   [g >= -k]); the rest of the run is implied and dropped.  An inequality
+   whose gradient (or its negation) is fixed by an equality is decided by
+   it: implied or contradictory.  This is what keeps Fourier–Motzkin
+   projection bounded — the lower×upper combination step mass-produces
+   exactly such duplicates and dominated bounds. *)
+let compact constrs =
+  let constrs =
+    List.filter_map
+      (fun c ->
+        match Constr.normalize c with
+        | None -> Some (Constr.Ge (Linexpr.const (-1)))
+        | Some c when Constr.is_tautology c -> None
+        | Some c -> Some c)
+      constrs
+  in
+  let constrs = List.sort_uniq Constr.compare constrs in
+  let eqs = List.filter Constr.is_eq constrs in
+  (* the constant value an equality assigns to gradient [g], if any *)
+  let eq_value g =
+    List.find_map
+      (fun c ->
+        let e = Constr.expr c in
+        let ge = gradient e in
+        if Linexpr.equal ge g then Some (-Linexpr.const_of e)
+        else if Linexpr.equal ge (Linexpr.neg g) then Some (Linexpr.const_of e)
+        else None)
+      eqs
+  in
+  let rec prune prev_grad acc = function
+    | [] -> List.rev acc
+    | (Constr.Eq _ as c) :: rest -> prune prev_grad (c :: acc) rest
+    | (Constr.Ge e as c) :: rest -> (
+        let g = gradient e in
+        match prev_grad with
+        | Some pg when Linexpr.equal pg g -> prune prev_grad acc rest
+        | _ -> (
+            match eq_value g with
+            | Some v ->
+                if v + Linexpr.const_of e >= 0 then prune (Some g) acc rest
+                else
+                  prune (Some g) (Constr.Ge (Linexpr.const (-1)) :: acc) rest
+            | None -> prune (Some g) (c :: acc) rest))
+  in
+  prune None [] constrs
+
 (* Eliminate equalities on [d] first when one has coefficient +-1: exact
-   integer substitution.  Otherwise fall back to pairwise FM combination. *)
+   integer substitution.  Otherwise fall back to pairwise FM combination.
+   Either way the result is compacted: projection is where constraint counts
+   would otherwise grow quadratically across successive eliminations. *)
 let project_out d s =
   if not (List.mem d s.dims) then s
   else
@@ -91,7 +155,7 @@ let project_out d s =
                 if Constr.is_tautology c'' then None else Some c'')
             s.constrs
         in
-        { dims = remaining_dims; constrs }
+        { dims = remaining_dims; constrs = compact constrs; simplified = true }
     | None ->
         (* Split into lower bounds (c*d >= e, c>0), upper bounds (c*d <= e,
            c>0), and independent constraints; equalities contribute both. *)
@@ -133,7 +197,11 @@ let project_out d s =
                 !uppers)
             !lowers
         in
-        { dims = remaining_dims; constrs = combined @ !rest }
+        {
+          dims = remaining_dims;
+          constrs = compact (combined @ !rest);
+          simplified = true;
+        }
 
 let project_onto keep s =
   let to_drop = List.filter (fun d -> not (List.mem d keep)) s.dims in
@@ -142,17 +210,36 @@ let project_onto keep s =
 let mem env s = List.for_all (Constr.sat env) s.constrs
 
 let simplify s =
-  let constrs =
-    List.filter_map
-      (fun c ->
-        match Constr.normalize c with
-        | None -> Some (Constr.Ge (Linexpr.const (-1)))
-        | Some c when Constr.is_tautology c -> None
-        | Some c -> Some c)
-      s.constrs
-  in
-  let constrs = List.sort_uniq Constr.compare constrs in
-  { s with constrs }
+  if s.simplified then s
+  else
+    let constrs = compact s.constrs in
+    if List.equal Constr.equal constrs s.constrs then begin
+      (* already compact: remember so (hot in the emptiness recursion, which
+         re-simplifies the set at every elimination step) and keep the
+         physical value *)
+      s.simplified <- true;
+      s
+    end
+    else { s with constrs; simplified = true }
+
+(* Substitute a constant for one dimension and drop it: the per-value step
+   of Feasible's point enumeration.  Unlike [change_space] this skips
+   re-validating every constraint against the new dimension tuple — the
+   tuple only shrinks and no new names can appear. *)
+let fix_dim d v s =
+  if not (List.mem d s.dims) then s
+  else
+    let repl = Linexpr.const v in
+    let constrs =
+      List.filter_map
+        (fun c ->
+          if Linexpr.coeff (Constr.expr c) d = 0 then Some c
+          else
+            let c' = Constr.subst d repl c in
+            if Constr.is_tautology c' then None else Some c')
+        s.constrs
+    in
+    { dims = List.filter (fun x -> x <> d) s.dims; constrs; simplified = false }
 
 let bounds_of d s =
   let lowers = ref [] and uppers = ref [] and rest = ref [] in

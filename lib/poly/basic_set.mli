@@ -42,6 +42,13 @@ val change_space :
   t ->
   t
 
+(** [fix_dim d v s] substitutes the constant [v] for dimension [d] and drops
+    [d] from the tuple.  Equivalent to [change_space] with a constant
+    binding, but without re-validating every constraint — this is the
+    per-value step of {!Feasible}'s point enumeration.  Returns [s] unchanged
+    when [d] is not a dimension of [s]. *)
+val fix_dim : string -> int -> t -> t
+
 (** [project_out d s] eliminates dimension [d] by Fourier–Motzkin: the result
     is the (rational) shadow over the remaining dimensions.  Exact over the
     integers whenever [d]'s bounding coefficients include 1 (true for the
@@ -64,7 +71,12 @@ val mem : (string -> int) -> t -> bool
     {!Feasible}. *)
 val is_obviously_empty : t -> bool
 
-(** Remove tautologies and duplicates; detect constant contradictions. *)
+(** Compact the constraint system: normalize (detecting constant
+    contradictions), drop tautologies and duplicates, and prune pairwise
+    redundancies — of two inequalities bounding the same gradient only the
+    tighter survives, and inequalities decided by an equality are removed
+    (or turned into a contradiction).  Memoized: re-simplifying an
+    already-compact set is O(1), and {!project_out} returns compact sets. *)
 val simplify : t -> t
 
 (** [bounds_of d s] splits the constraints of [s] into lower bounds on [d]

@@ -67,8 +67,11 @@ let analyze ~domain ~source ~sink =
   else
     let ds = Basic_set.dims domain in
     let n = List.length ds in
+    (* each level's conflict polyhedron is independent of the others, so the
+       emptiness tests and distance extractions fan out across domains
+       (sequential under --jobs 1 or when already inside a pool task) *)
     let carried =
-      List.filter_map
+      Pom_par.Par.filter_map
         (fun level ->
           let conflict = conflict_at_level ~domain ~source ~sink level in
           if Feasible.is_empty conflict then None

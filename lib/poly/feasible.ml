@@ -1,11 +1,7 @@
 let default_limit = 100_000
 
 (* Substitute a constant value for a dimension, dropping the dimension. *)
-let fix_dim d v s =
-  let remaining = List.filter (fun x -> x <> d) (Basic_set.dims s) in
-  Basic_set.change_space ~new_dims:remaining
-    ~bindings:[ (d, Linexpr.const v) ]
-    s
+let fix_dim = Basic_set.fix_dim
 
 (* FM elimination of [d] is integer-exact when every lower/upper bound pair
    has a unit coefficient on at least one side. *)
@@ -40,15 +36,14 @@ let range_with_window d s =
 
 let rec first_point s =
   match Basic_set.dims s with
-  | [] -> if Basic_set.is_obviously_empty (Basic_set.simplify s) then None else Some []
+  | [] -> if Basic_set.is_obviously_empty s then None else Some []
   | d :: _ ->
       let lb, ub = range_with_window d s in
       let rec try_value v =
         if v > ub then None
         else
           let s' = fix_dim d v s in
-          if Basic_set.is_obviously_empty (Basic_set.simplify s') then
-            try_value (v + 1)
+          if Basic_set.is_obviously_empty s' then try_value (v + 1)
           else
             match first_point s' with
             | Some rest -> Some (v :: rest)
@@ -69,7 +64,7 @@ let fold_points ?(limit = default_limit) f init s =
   let rec go prefix s acc =
     match Basic_set.dims s with
     | [] ->
-        if Basic_set.is_obviously_empty (Basic_set.simplify s) then acc
+        if Basic_set.is_obviously_empty s then acc
         else begin
           incr count;
           if !count > limit then
@@ -84,8 +79,7 @@ let fold_points ?(limit = default_limit) f init s =
               else
                 let s' = fix_dim d v s in
                 let acc =
-                  if Basic_set.is_obviously_empty (Basic_set.simplify s') then
-                    acc
+                  if Basic_set.is_obviously_empty s' then acc
                   else go (v :: prefix) s' acc
                 in
                 loop (v + 1) acc

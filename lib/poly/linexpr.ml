@@ -22,13 +22,18 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-let table = Tbl.create 4096
+(* One intern table per domain: interning is pure bookkeeping, so sharding it
+   keeps the constructors lock-free under parallel DSE evaluation.  Two
+   domains may hold distinct physical copies of the same expression — [==] is
+   only ever a fast path, [equal]/[compare] fall back to structure. *)
+let table_key = Domain.DLS.new_key (fun () -> Tbl.create 4096)
 
-(* Capacity guard: the table only ever grows, so cap it and start over
-   rather than retaining every expression the process has seen. *)
+(* Capacity guard: a table only ever grows, so cap it and start over rather
+   than retaining every expression the domain has seen. *)
 let max_interned = 100_000
 
 let intern e =
+  let table = Domain.DLS.get table_key in
   match Tbl.find_opt table e with
   | Some canonical -> canonical
   | None ->
@@ -36,7 +41,7 @@ let intern e =
       Tbl.add table e e;
       e
 
-let interned_terms () = Tbl.length table
+let interned_terms () = Tbl.length (Domain.DLS.get table_key)
 
 let normalize e =
   intern { e with coeffs = Smap.filter (fun _ c -> c <> 0) e.coeffs }

@@ -179,6 +179,56 @@ let prop_projection_is_shadow =
           | _ -> false)
         (Feasible.enumerate s))
 
+let test_fix_dim () =
+  let s = box [ ("i", 0, 4); ("j", 2, 6) ] in
+  let fixed = Basic_set.fix_dim "j" 3 s in
+  Alcotest.(check (list string)) "dim gone" [ "i" ] (Basic_set.dims fixed);
+  let env x = function "i" -> x | _ -> raise Not_found in
+  Alcotest.(check bool) "inside survives" true (Basic_set.mem (env 2) fixed);
+  Alcotest.(check bool) "outside still out" false
+    (Basic_set.mem (env 4) fixed);
+  (* fixing outside the dim's range contradicts its bounds *)
+  Alcotest.(check bool) "infeasible value empties the set" true
+    (Basic_set.is_obviously_empty (Basic_set.fix_dim "j" 99 s));
+  (* absent dimension: nothing to substitute, same set back *)
+  Alcotest.(check bool) "absent dim is the identity" true
+    (Basic_set.fix_dim "k" 5 s == s)
+
+let test_fm_projection_stays_bounded () =
+  (* Fourier–Motzkin is quadratic per elimination when every lower bound
+     pairs with every upper bound, and repeated projection compounds it —
+     unless the projection compacts its output.  A triangular chain with
+     every constraint duplicated (self-intersection) plus slack bounds is
+     the classic trigger; the constraint count must stay small and bounded
+     after each elimination. *)
+  let dims = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+  let chain =
+    let rec pairs = function
+      | x :: (y :: _ as rest) -> Constr.le (v x) (v y) :: pairs rest
+      | [ _ ] | [] -> []
+    in
+    (Constr.ge (v "a") (c 0) :: pairs dims)
+    @ [ Constr.le (v "f") (c 40) ]
+    (* slack bounds, strictly weaker than what the chain implies *)
+    @ List.map (fun d -> Constr.ge (v d) (c (-5))) dims
+    @ List.map (fun d -> Constr.le (v d) (c 100)) dims
+  in
+  let s = Basic_set.make dims chain in
+  let s = Basic_set.intersect s s in
+  let budget = 4 * List.length dims in
+  let _ =
+    List.fold_left
+      (fun s d ->
+        let p = Basic_set.project_out d s in
+        let n = List.length (Basic_set.constraints p) in
+        if n > budget then
+          Alcotest.failf "projecting %s left %d constraints (budget %d)" d n
+            budget;
+        p)
+      s [ "a"; "b"; "c"; "d"; "e" ]
+  in
+  ()
+
 let () =
   Alcotest.run "basic_set"
     [
@@ -199,6 +249,9 @@ let () =
           Alcotest.test_case "simplify" `Quick test_simplify;
           Alcotest.test_case "obvious emptiness" `Quick test_obviously_empty;
           Alcotest.test_case "bounds extraction" `Quick test_bounds_of;
+          Alcotest.test_case "fix_dim substitution" `Quick test_fix_dim;
+          Alcotest.test_case "FM projection stays bounded" `Quick
+            test_fm_projection_stays_bounded;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_projection_is_shadow ]);
     ]
