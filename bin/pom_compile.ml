@@ -45,6 +45,24 @@ let directive_of_string s =
             s k kr\", \"partition A cyclic 4 4\")"
            s)
 
+(* POM307: print the offending source line with a caret under the column,
+   compiler-style, so C front-end errors are actionable. *)
+let report_parse_error path ~line ~col ~token message =
+  Printf.eprintf "%s:%d:%d: error [POM307]: %s (at %s)\n" path line col
+    message token;
+  (try
+     let ic = open_in path in
+     Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () ->
+         let src = ref "" in
+         for _ = 1 to line do
+           src := input_line ic
+         done;
+         Printf.eprintf "  %s\n  %s^\n" !src (String.make (col - 1) ' '))
+   with _ -> ());
+  exit 1
+
 let framework_of_string = function
   | "baseline" -> Ok `Baseline
   | "pluto" -> Ok `Pluto
@@ -56,8 +74,23 @@ let framework_of_string = function
 
 let run workload from_c size framework schedules lint werror emit_c emit_mlir
     emit_testbench validate check_legality timeline trace timing dump_after
-    verify_each resource_frac jobs list_workloads =
+    verify_each resource_frac jobs deadline on_error checkpoint inject
+    list_workloads =
   Pom.Par.set_jobs jobs;
+  let on_error =
+    match Pom.Resilience.Policy.of_string on_error with
+    | Ok p -> p
+    | Error m ->
+        prerr_endline m;
+        exit 1
+  in
+  (match inject with
+  | Some spec -> (
+      try Pom.Resilience.Fault.configure spec
+      with Invalid_argument m ->
+        prerr_endline m;
+        exit 1)
+  | None -> Pom.Resilience.Fault.configure_from_env ());
   if list_workloads then begin
     List.iter (fun (n, _) -> print_endline n) (workloads ());
     0
@@ -69,9 +102,11 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
           try
             let func = Pom.Cfront.Parse.parse_file path in
             Some (Pom.Dsl.Func.name func, fun _ -> func)
-          with Pom.Cfront.Parse.Parse_error m | Pom.Cfront.Lexer.Lex_error m ->
-            Printf.eprintf "%s: %s\n" path m;
-            exit 1)
+          with
+          | Pom.Cfront.Parse.Parse_error { line; col; token; message } ->
+              report_parse_error path ~line ~col ~token message
+          | Pom.Cfront.Lexer.Lex_error { line; col; message } ->
+              report_parse_error path ~line ~col ~token:"<char>" message)
       | None ->
           Option.map (fun b -> (workload, b)) (List.assoc_opt workload (workloads ()))
     in
@@ -84,7 +119,8 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
         | Error (`Msg m) ->
             prerr_endline m;
             1
-        | Ok fw ->
+        | Ok fw -> (
+          try
             let workload, build = (fst builder_pair, snd builder_pair) in
             let device =
               Pom.Hls.Device.scale resource_frac Pom.Hls.Device.xc7z020
@@ -102,7 +138,7 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
                 exit 1);
             let c =
               Pom.compile ~device ~framework:fw ~dnn ~dump_after ~verify_each
-                ~jobs func
+                ~jobs ?deadline_s:deadline ~on_error ?checkpoint func
             in
             List.iter
               (fun name ->
@@ -198,7 +234,22 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
               2
             end
             else if has_errors then 2
-            else 0)
+            else 0
+          with
+          | Pom.Resilience.Fault.Killed site ->
+              (* an injected kill simulates the process dying here: no
+                 degradation, just the resilience exit code *)
+              Format.eprintf "error [POM305]: injected kill at %s@." site;
+              3
+          | ( Pom.Resilience.Error.Error _
+            | Pom.Resilience.Budget.Budget_exceeded _ ) as e ->
+              let err =
+                match e with
+                | Pom.Resilience.Error.Error t -> t
+                | e -> Pom.Resilience.Error.of_exn ~code:"POM301" e
+              in
+              Format.eprintf "%s@." (Pom.Resilience.Error.to_string err);
+              3))
 
 let from_c_arg =
   Arg.(
@@ -326,18 +377,76 @@ let jobs_arg =
            (default: the machine's recommended domain count).  The compiled \
            design is identical for every N; N=1 runs fully sequentially.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget for the whole compile.  The polyhedral \
+           kernels, legality proof, and DSE searches check it \
+           cooperatively; when it runs out the compile aborts with a \
+           POM301 diagnostic (or degrades, under --on-error degrade).")
+
+let on_error_arg =
+  Arg.(
+    value & opt string "abort"
+    & info [ "on-error" ] ~docv:"POLICY"
+        ~doc:
+          "What a failed or timed-out pass does: 'abort' (default) stops \
+           with a typed POM3xx error and exit code 3; 'degrade' records \
+           the diagnostic and applies the pass's conservative fallback — \
+           assume the dependence, reject the transform, skip the DSE \
+           candidate, keep the incumbent design.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal every evaluated DSE design point to $(docv) (append \
+           and flush per record).  Re-running with the same $(docv) \
+           replays the journal into the evaluation cache first, so a \
+           killed search resumes and reproduces the identical final \
+           design.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection for resilience testing: \
+           comma-separated site=kind@n terms, kind one of fail, timeout, \
+           kill (e.g. 'pass:hls-synthesize=fail@1,dse:evaluate=kill@5').  \
+           Also read from the POM_FAULTS environment variable.")
+
 let list_arg =
   Arg.(value & flag & info [ "list" ] ~doc:"List available workloads.")
 
 let cmd =
   let doc = "POM: generate an optimized FPGA accelerator for a workload" in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1 ~doc:"on usage errors or unparsable input (POM307).";
+      Cmd.Exit.info 2
+        ~doc:"on analyzer errors or an illegal schedule (POM1xx/POM2xx).";
+      Cmd.Exit.info 3
+        ~doc:
+          "on a resilience abort: exhausted --deadline, failed required \
+           pass, or injected kill (POM3xx).";
+    ]
+  in
   Cmd.v
-    (Cmd.info "pom_compile" ~doc)
+    (Cmd.info "pom_compile" ~doc ~exits)
     Term.(
       const run $ workload_arg $ from_c_arg $ size_arg $ framework_arg
       $ schedule_arg $ lint_arg $ werror_arg $ emit_c_arg $ emit_mlir_arg
       $ emit_testbench_arg $ validate_arg $ check_legality_arg $ timeline_arg
       $ trace_arg $ timing_arg $ dump_after_arg $ verify_each_arg $ frac_arg
-      $ jobs_arg $ list_arg)
+      $ jobs_arg $ deadline_arg $ on_error_arg $ checkpoint_arg $ inject_arg
+      $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

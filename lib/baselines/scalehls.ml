@@ -134,13 +134,18 @@ let usage_sub (a : Resource.usage) (b : Resource.usage) =
     bram = a.Resource.bram - b.Resource.bram;
   }
 
-let greedy_pass ?(cache = Memo.global) ?jobs ?(on_result = fun _ -> ()) () =
+let greedy_pass ?(cache = Memo.global) ?jobs ?checkpoint
+    ?(on_result = fun _ -> ()) () =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pom_par.Par.jobs ()
   in
   Pass.v ~name:"scalehls-greedy-dse"
     ~descr:"greedy program-order factor-ladder DSE under a dataflow budget"
     (fun (st : State.t) ->
+      (* same journal protocol as {!Pom_dse.Stage2.run}: replay intact
+         records into the report memo, journal every synthesized rung, and
+         let the sequential greedy walk replay a resumed run into hits *)
+      Memo.with_journal cache checkpoint @@ fun _journal_notes ->
       let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
       let func = st.State.func and device = st.State.device in
       let composition = st.State.composition
@@ -182,8 +187,11 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?(on_result = fun _ -> ()) () =
       let pruned = ref 0 in
       let eval () =
         incr evaluations;
+        (* the per-evaluation fault site shared with Stage2 *)
+        Pom_resilience.Fault.point "dse:evaluate";
         evaluate ~cache ~device ~composition ~latency_mode func base units
       in
+      let stopped = ref false in
       let candidate_prog () =
         let hw =
           List.concat_map
@@ -250,6 +258,7 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?(on_result = fun _ -> ()) () =
       if not huge then
         List.iter
           (fun u ->
+            if not !stopped then begin
             (* greedy: push this unit as far as the remaining budget allows *)
             (match prefetch_ladder with Some warm -> warm u | None -> ());
             let continue_ = ref true in
@@ -274,7 +283,26 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?(on_result = fun _ -> ()) () =
                     u.realization <- saved_real
                   end
                   else begin
-                  let ((trial_prog, _, trial_report) as trial) = eval () in
+                  match eval () with
+                  | exception (Pom_resilience.Fault.Killed _ as e) ->
+                      (* simulated process death: never absorbed *)
+                      raise e
+                  | exception (Pom_resilience.Budget.Budget_exceeded _ as e) ->
+                      u.par <- saved_par;
+                      u.realization <- saved_real;
+                      if Pom_resilience.Policy.degrading () then begin
+                        (* out of time mid-walk: stop the whole greedy
+                           sweep at the incumbent *)
+                        stopped := true;
+                        continue_ := false
+                      end
+                      else raise e
+                  | exception _ when Pom_resilience.Policy.degrading () ->
+                      (* failed rung evaluation: backed out like factor
+                         saturation, the climb continues (POM304) *)
+                      u.par <- saved_par;
+                      u.realization <- saved_real
+                  | (trial_prog, _, trial_report) as trial ->
                   let usage = unit_usage ~count:evaluations trial_prog u in
                   let _, _, cur_report = !current in
                   if
@@ -299,7 +327,8 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?(on_result = fun _ -> ()) () =
                 end)
               ladder;
             let prog, _, _ = !current in
-            budget := usage_sub !budget (unit_usage ~count:evaluations prog u))
+            budget := usage_sub !budget (unit_usage ~count:evaluations prog u)
+            end)
           units;
       let prog, directives, report = !current in
       let tile_vectors =
@@ -332,11 +361,11 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?(on_result = fun _ -> ()) () =
         dse_cpu_s = st.State.dse_cpu_s +. (Sys.time () -. cpu0);
       })
 
-let passes ?cache ?jobs ?on_result () =
+let passes ?cache ?jobs ?checkpoint ?on_result () =
   [
     interchange_pass ();
     Passes.structural ();
-    greedy_pass ?cache ?jobs ?on_result ();
+    greedy_pass ?cache ?jobs ?checkpoint ?on_result ();
   ]
 
 let run ?(device = Device.xc7z020) ?(dnn = false) func =

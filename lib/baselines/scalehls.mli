@@ -42,10 +42,17 @@ type result = {
     speculatively evaluated concurrently to warm the report memo before the
     sequential greedy walk replays over it — the chosen design is identical
     across job counts, and [jobs = 1] reproduces the sequential walk
-    bit-for-bit. *)
+    bit-for-bit.
+
+    [checkpoint] names a crash-safe journal: every synthesized ladder rung
+    is appended as it is evaluated, and a killed run resumed against the
+    same journal replays the intact records into the report memo and
+    re-derives the identical final design (see
+    {!Pom_pipeline.Memo.with_journal}). *)
 val passes :
   ?cache:Pom_pipeline.Memo.t ->
   ?jobs:int ->
+  ?checkpoint:string ->
   ?on_result:(result -> unit) ->
   unit ->
   Pom_pipeline.State.t Pom_pipeline.Pass.t list

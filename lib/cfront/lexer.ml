@@ -1,8 +1,26 @@
 type token = Ident of string | Int of int | Float of float | Punct of string | Eof
 
-exception Lex_error of string
+type located = { tok : token; line : int; col : int }
 
-let err fmt = Format.kasprintf (fun s -> raise (Lex_error s)) fmt
+exception Lex_error of { line : int; col : int; message : string }
+
+(* line/col of a byte offset, 1-based — error path only, so a plain scan *)
+let pos_of src off =
+  let line = ref 1 and bol = ref 0 in
+  for k = 0 to min off (String.length src) - 1 do
+    if src.[k] = '\n' then begin
+      incr line;
+      bol := k + 1
+    end
+  done;
+  (!line, off - !bol + 1)
+
+let err src off fmt =
+  Format.kasprintf
+    (fun message ->
+      let line, col = pos_of src off in
+      raise (Lex_error { line; col; message }))
+    fmt
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -15,11 +33,29 @@ let two_char_puncts = [ "++"; "--"; "+="; "-="; "*="; "/="; "<="; ">="; "==" ]
 
 let one_char_puncts = "(){}[];,=<>+-*/%"
 
+(* One forward walk attaching line/col to each (token, start offset) pair:
+   the offsets come out of [tokenize] in increasing order, so the newline
+   scan never rewinds. *)
+let locate src pairs =
+  let line = ref 1 and bol = ref 0 and k = ref 0 in
+  List.map
+    (fun (tok, off) ->
+      while !k < off do
+        if src.[!k] = '\n' then begin
+          incr line;
+          bol := !k + 1
+        end;
+        incr k
+      done;
+      { tok; line = !line; col = off - !bol + 1 })
+    pairs
+
 let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let i = ref 0 in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let emit tok start = toks := (tok, start) :: !toks in
   while !i < n do
     let c = src.[!i] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
@@ -31,6 +67,7 @@ let tokenize src =
       while !i < n && src.[!i] <> '\n' do incr i done
     end
     else if c = '/' && peek 1 = Some '*' then begin
+      let start = !i in
       i := !i + 2;
       let closed = ref false in
       while (not !closed) && !i + 1 < n do
@@ -40,12 +77,12 @@ let tokenize src =
         end
         else incr i
       done;
-      if not !closed then err "unterminated comment"
+      if not !closed then err src start "unterminated comment"
     end
     else if is_ident_start c then begin
       let start = !i in
       while !i < n && is_ident_char src.[!i] do incr i done;
-      toks := Ident (String.sub src start (!i - start)) :: !toks
+      emit (Ident (String.sub src start (!i - start))) start
     end
     else if is_digit c then begin
       let start = !i in
@@ -68,8 +105,8 @@ let tokenize src =
         is_float := true;
         incr i
       end;
-      if !is_float then toks := Float (float_of_string text) :: !toks
-      else toks := Int (int_of_string text) :: !toks
+      if !is_float then emit (Float (float_of_string text)) start
+      else emit (Int (int_of_string text)) start
     end
     else begin
       let two =
@@ -77,17 +114,17 @@ let tokenize src =
       in
       match two with
       | Some t when List.mem t two_char_puncts ->
-          toks := Punct t :: !toks;
+          emit (Punct t) !i;
           i := !i + 2
       | _ ->
           if String.contains one_char_puncts c then begin
-            toks := Punct (String.make 1 c) :: !toks;
+            emit (Punct (String.make 1 c)) !i;
             incr i
           end
-          else err "unexpected character %c" c
+          else err src !i "unexpected character %c" c
     end
   done;
-  List.rev (Eof :: !toks)
+  locate src (List.rev ((Eof, n) :: !toks))
 
 let pp_token ppf = function
   | Ident s -> Format.fprintf ppf "identifier %s" s
@@ -95,3 +132,10 @@ let pp_token ppf = function
   | Float f -> Format.fprintf ppf "float %g" f
   | Punct p -> Format.fprintf ppf "'%s'" p
   | Eof -> Format.pp_print_string ppf "end of input"
+
+let token_text = function
+  | Ident s -> s
+  | Int k -> string_of_int k
+  | Float f -> Printf.sprintf "%g" f
+  | Punct p -> p
+  | Eof -> "<eof>"

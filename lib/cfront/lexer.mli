@@ -7,10 +7,19 @@ type token =
   | Punct of string  (** one of the recognized operators/delimiters *)
   | Eof
 
-exception Lex_error of string
+(** A token with its 1-based source position (the position of its first
+    character; [Eof] carries the position one past the end). *)
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of { line : int; col : int; message : string }
 
 (** Tokenize a whole source string.  Line ([//]) and block ([/* */])
-    comments and [#pragma]/[#include] lines are skipped. *)
-val tokenize : string -> token list
+    comments and [#pragma]/[#include] lines are skipped.  Lexical errors
+    raise {!Lex_error} carrying the offending position. *)
+val tokenize : string -> located list
 
 val pp_token : Format.formatter -> token -> unit
+
+(** The raw source text of a token (["<eof>"] for [Eof]) — what a
+    diagnostic quotes as "the offending token". *)
+val token_text : token -> string

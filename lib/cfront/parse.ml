@@ -1,13 +1,32 @@
 open Pom_poly
 open Pom_dsl
 
-exception Parse_error of string
+exception
+  Parse_error of { line : int; col : int; token : string; message : string }
 
-let err fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+type state = { mutable toks : Lexer.located list }
 
-type state = { mutable toks : Lexer.token list }
+let eof = { Lexer.tok = Lexer.Eof; line = 0; col = 0 }
 
-let peek st = match st.toks with t :: _ -> t | [] -> Lexer.Eof
+let peek_located st = match st.toks with t :: _ -> t | [] -> eof
+
+let peek st = (peek_located st).Lexer.tok
+
+(* Every parse error is positioned at the token the parser is looking at,
+   and quotes it — the driver renders the source line with a caret. *)
+let err st fmt =
+  Format.kasprintf
+    (fun message ->
+      let l = peek_located st in
+      raise
+        (Parse_error
+           {
+             line = l.Lexer.line;
+             col = l.Lexer.col;
+             token = Lexer.token_text l.Lexer.tok;
+             message;
+           }))
+    fmt
 
 let advance st =
   match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
@@ -15,28 +34,28 @@ let advance st =
 let expect_punct st p =
   match peek st with
   | Lexer.Punct q when q = p -> advance st
-  | t -> err "expected '%s', found %a" p Lexer.pp_token t
+  | t -> err st "expected '%s', found %a" p Lexer.pp_token t
 
 let expect_ident st =
   match peek st with
   | Lexer.Ident s ->
       advance st;
       s
-  | t -> err "expected identifier, found %a" Lexer.pp_token t
+  | t -> err st "expected identifier, found %a" Lexer.pp_token t
 
 let expect_keyword st kw =
   match peek st with
   | Lexer.Ident s when s = kw -> advance st
-  | t -> err "expected '%s', found %a" kw Lexer.pp_token t
+  | t -> err st "expected '%s', found %a" kw Lexer.pp_token t
 
 let expect_int st =
   match peek st with
   | Lexer.Int k ->
       advance st;
       k
-  | t -> err "expected integer, found %a" Lexer.pp_token t
+  | t -> err st "expected integer, found %a" Lexer.pp_token t
 
-let dtype_of_ctype = function
+let dtype_of_ctype st = function
   | "float" -> Dtype.p_float32
   | "double" -> Dtype.p_float64
   | "int" | "int32_t" -> Dtype.p_int32
@@ -47,7 +66,7 @@ let dtype_of_ctype = function
   | "uint16_t" -> Dtype.p_uint16
   | "uint32_t" -> Dtype.p_uint32
   | "uint64_t" -> Dtype.p_uint64
-  | t -> err "unsupported element type %s" t
+  | t -> err st "unsupported element type %s" t
 
 (* ---- affine index / bound expressions over the live iterators ---- *)
 
@@ -87,7 +106,7 @@ and parse_affine_term st env =
         let rhs = parse_affine_atom st env in
         if Linexpr.is_const !lhs then lhs := Linexpr.scale (Linexpr.const_of !lhs) rhs
         else if Linexpr.is_const rhs then lhs := Linexpr.scale (Linexpr.const_of rhs) !lhs
-        else err "non-affine index: product of two iterators"
+        else err st "non-affine index: product of two iterators"
     | _ -> continue_ := false
   done;
   !lhs
@@ -108,8 +127,8 @@ and parse_affine_atom st env =
   | Lexer.Ident name when is_live_iter env name ->
       advance st;
       Linexpr.var name
-  | Lexer.Ident name -> err "unknown iterator %s in affine expression" name
-  | t -> err "unexpected %a in affine expression" Lexer.pp_token t
+  | Lexer.Ident name -> err st "unknown iterator %s in affine expression" name
+  | t -> err st "unexpected %a in affine expression" Lexer.pp_token t
 
 (* conservative hull of an affine expression given the iterators' hulls *)
 let hull_range env e =
@@ -140,13 +159,13 @@ let linexpr_to_index e =
 
 (* ---- value expressions ---- *)
 
-let find_array env name =
+let find_array st env name =
   match List.assoc_opt name env.arrays with
   | Some p -> p
-  | None -> err "unknown array %s" name
+  | None -> err st "unknown array %s" name
 
 let parse_access st env name =
-  let p = find_array env name in
+  let p = find_array st env name in
   let indices = ref [] in
   while peek st = Lexer.Punct "[" do
     advance st;
@@ -155,7 +174,7 @@ let parse_access st env name =
   done;
   let indices = List.rev_map linexpr_to_index !indices in
   if List.length indices <> Placeholder.rank p then
-    err "array %s has rank %d, got %d indices" name (Placeholder.rank p)
+    err st "array %s has rank %d, got %d indices" name (Placeholder.rank p)
       (List.length indices);
   (p, indices)
 
@@ -221,9 +240,9 @@ and parse_expr_atom st env =
       let p, indices = parse_access st env name in
       Expr.Load (p, indices)
   | Lexer.Ident name when is_live_iter env name ->
-      err "iterator %s used as a value (only affine indices are supported)"
+      err st "iterator %s used as a value (only affine indices are supported)"
         name
-  | t -> err "unexpected %a in expression" Lexer.pp_token t
+  | t -> err st "unexpected %a in expression" Lexer.pp_token t
 
 (* ---- statements ---- *)
 
@@ -245,19 +264,20 @@ let rec parse_stmt st env acc (conds : Expr.cond list) =
       advance st
   | Lexer.Ident "for" -> parse_for st env acc conds
   | Lexer.Ident _ -> parse_assign st env acc conds
-  | t -> err "expected a statement, found %a" Lexer.pp_token t
+  | t -> err st "expected a statement, found %a" Lexer.pp_token t
 
 and parse_for st env acc conds =
   expect_keyword st "for";
   expect_punct st "(";
   expect_keyword st "int";
   let var_name = expect_ident st in
-  if is_live_iter env var_name then err "iterator %s shadows an outer loop" var_name;
+  if is_live_iter env var_name then
+    err st "iterator %s shadows an outer loop" var_name;
   expect_punct st "=";
   let lb_expr = parse_affine st env in
   expect_punct st ";";
   let v2 = expect_ident st in
-  if v2 <> var_name then err "loop condition must test %s" var_name;
+  if v2 <> var_name then err st "loop condition must test %s" var_name;
   let strict =
     match peek st with
     | Lexer.Punct "<" ->
@@ -266,7 +286,7 @@ and parse_for st env acc conds =
     | Lexer.Punct "<=" ->
         advance st;
         false
-    | t -> err "expected '<' or '<=', found %a" Lexer.pp_token t
+    | t -> err st "expected '<' or '<=', found %a" Lexer.pp_token t
   in
   let ub_expr = parse_affine st env in
   let ub_expr =
@@ -280,18 +300,18 @@ and parse_for st env acc conds =
       | Lexer.Punct "++" -> advance st
       | Lexer.Punct "+=" ->
           advance st;
-          if expect_int st <> 1 then err "only unit stride is supported"
-      | t -> err "expected '++', found %a" Lexer.pp_token t)
+          if expect_int st <> 1 then err st "only unit stride is supported"
+      | t -> err st "expected '++', found %a" Lexer.pp_token t)
   | Lexer.Punct "++" ->
       advance st;
       let v3 = expect_ident st in
-      if v3 <> var_name then err "increment must update %s" var_name
-  | t -> err "expected increment of %s, found %a" var_name Lexer.pp_token t);
+      if v3 <> var_name then err st "increment must update %s" var_name
+  | t -> err st "expected increment of %s, found %a" var_name Lexer.pp_token t);
   expect_punct st ")";
   (* hull + residual conditions *)
   let lb_hull, _ = hull_range env lb_expr in
   let _, ub_hull = hull_range env ub_expr in
-  if lb_hull >= ub_hull then err "loop on %s has an empty hull" var_name;
+  if lb_hull >= ub_hull then err st "loop on %s has an empty hull" var_name;
   let var = Var.make var_name lb_hull ub_hull in
   let new_conds =
     (if Linexpr.is_const lb_expr then []
@@ -322,7 +342,7 @@ and parse_assign st env acc conds =
     | Lexer.Punct "*=" ->
         advance st;
         `Mul
-    | t -> err "expected assignment operator, found %a" Lexer.pp_token t
+    | t -> err st "expected assignment operator, found %a" Lexer.pp_token t
   in
   let rhs = parse_expr st env in
   expect_punct st ";";
@@ -360,7 +380,7 @@ and register_with_conds acc env conds ~dest ~body =
 
 let parse_param st =
   let ctype = expect_ident st in
-  let dt = dtype_of_ctype ctype in
+  let dt = dtype_of_ctype st ctype in
   let name = expect_ident st in
   let shape = ref [] in
   while peek st = Lexer.Punct "[" do
@@ -368,7 +388,7 @@ let parse_param st =
     shape := expect_int st :: !shape;
     expect_punct st "]"
   done;
-  if !shape = [] then err "parameter %s must be an array" name;
+  if !shape = [] then err st "parameter %s must be an array" name;
   Placeholder.make name (List.rev !shape) dt
 
 let parse_func src =
@@ -398,8 +418,8 @@ let parse_func src =
   advance st;
   (match peek st with
   | Lexer.Eof -> ()
-  | t -> err "trailing input: %a" Lexer.pp_token t);
-  if Func.computes func = [] then err "kernel %s has no statements" fname;
+  | t -> err st "trailing input: %a" Lexer.pp_token t);
+  if Func.computes func = [] then err st "kernel %s has no statements" fname;
   func
 
 let parse_file path =

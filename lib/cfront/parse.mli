@@ -27,7 +27,11 @@
     - statements sharing enclosing loops are fused with [after], exactly
       reproducing the source interleaving. *)
 
-exception Parse_error of string
+(** A structured parse error: the 1-based position of the token the parser
+    was looking at, its source text, and what was expected — enough for the
+    driver to print the offending source line with a caret. *)
+exception
+  Parse_error of { line : int; col : int; token : string; message : string }
 
 val parse_func : string -> Pom_dsl.Func.t
 

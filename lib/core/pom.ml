@@ -13,6 +13,7 @@ module Workloads = Pom_workloads
 module Cfront = Pom_cfront
 module Pipeline = Pom_pipeline
 module Analysis = Pom_analysis
+module Resilience = Pom_resilience
 
 open Pom_pipeline
 
@@ -38,18 +39,44 @@ type compiled = {
    synthesize/lower/simplify/emit tail.  Searching flows (`Scalehls,
    `Pom_auto) fill the program slot themselves; the others accumulate
    directives and apply them with the shared schedule-apply pass. *)
-let head_passes ?jobs framework =
+let head_passes ?jobs ?checkpoint framework =
   match framework with
   | `Baseline -> [ Passes.structural (); Passes.schedule_apply () ]
   | `Pluto -> Baselines.Pluto.passes () @ [ Passes.schedule_apply () ]
   | `Polsca -> Baselines.Polsca.passes () @ [ Passes.schedule_apply () ]
-  | `Scalehls -> Baselines.Scalehls.passes ?jobs ()
+  | `Scalehls -> Baselines.Scalehls.passes ?jobs ?checkpoint ()
   | `Pom_manual -> [ Passes.user_schedule (); Passes.schedule_apply () ]
-  | `Pom_auto -> Dse.Engine.passes ?jobs ()
+  | `Pom_auto -> Dse.Engine.passes ?jobs ?checkpoint ()
+
+(* The degradation contract, per pass.  A required pass produces the
+   artifact the compile exists to deliver — skipping it cannot yield a
+   usable result, so its failure always aborts with the typed error.
+   Everything else (directive accumulation, legality/lint/verify analyses)
+   degrades to a POM3xx warning diagnostic under [--on-error degrade]. *)
+let required_passes =
+  [
+    "schedule-apply";
+    "hls-synthesize";
+    "affine-lower";
+    "affine-simplify";
+    "emit-hls-c";
+    "stage1-transform";
+    "stage2-search";
+    "scalehls-greedy-dse";
+  ]
+
+let guard_pipeline ps =
+  List.map
+    (fun (p : State.t Pass.t) ->
+      Passes.guard ~required:(List.mem p.Pass.info.Pass.name required_passes) p)
+    ps
 
 let compile ?(device = Pom_hls.Device.xc7z020) ?(framework = `Pom_auto)
     ?(dnn = false) ?(dump_after = []) ?(verify_each = false)
-    ?(simulate = false) ?jobs func =
+    ?(simulate = false) ?jobs ?deadline_s ?max_ticks
+    ?(on_error = Pom_resilience.Policy.Abort) ?checkpoint func =
+  Pom_resilience.Policy.with_policy on_error @@ fun () ->
+  Pom_resilience.Budget.with_budget ?deadline_s ?max_ticks @@ fun () ->
   let baseline_latency = Pom_hls.Report.baseline_latency func in
   let composition, latency_mode =
     match framework with
@@ -59,9 +86,10 @@ let compile ?(device = Pom_hls.Device.xc7z020) ?(framework = `Pom_auto)
         (Pom_hls.Resource.Reuse, `Sequential)
   in
   let pipeline =
-    head_passes ?jobs framework
-    @ [ Passes.legality_check (); Passes.lint_pragmas () ]
-    @ Passes.tail ()
+    guard_pipeline
+      (head_passes ?jobs ?checkpoint framework
+      @ [ Passes.legality_check (); Passes.lint_pragmas () ]
+      @ Passes.tail ())
   in
   let instruments = State.instruments ~dump_after ~verify_each ~simulate () in
   let st, records =

@@ -39,6 +39,12 @@ module Cfront = Pom_cfront
 module Pipeline = Pom_pipeline
 module Analysis = Pom_analysis
 
+(** Deadlines, typed failures, graceful degradation, DSE checkpointing,
+    and deterministic fault injection ({!Resilience.Budget},
+    {!Resilience.Policy}, {!Resilience.Error}, {!Resilience.Checkpoint},
+    {!Resilience.Fault}). *)
+module Resilience = Pom_resilience
+
 (** Which optimization flow to run. *)
 type framework =
   [ `Baseline  (** the input program, unoptimized *)
@@ -80,7 +86,19 @@ type compiled = {
     [jobs] (default {!Par.jobs}) sets the worker-domain budget of the
     searching flows ([`Scalehls], [`Pom_auto]); the compiled design is
     identical across job counts, and [jobs = 1] reproduces the sequential
-    search bit-for-bit. *)
+    search bit-for-bit.
+
+    Resilience controls: [deadline_s]/[max_ticks] install a cooperative
+    {!Resilience.Budget} for the whole compile — the polyhedral kernels,
+    legality proof, and both DSE searches check it and raise
+    [Budget_exceeded] when it runs out.  [on_error] selects what a failed
+    or timed-out pass does: [Abort] (the default) re-raises the typed
+    {!Resilience.Error.Error}; [Degrade] records a POM3xx diagnostic and
+    applies each pass's documented fallback (assume the dependence, reject
+    the transform, keep the DSE incumbent) — passes that produce the final
+    artifact always abort.  [checkpoint] journals every evaluated DSE
+    design point to the named file so a killed search can resume and
+    reproduce the identical final design. *)
 val compile :
   ?device:Pom_hls.Device.t ->
   ?framework:framework ->
@@ -89,6 +107,10 @@ val compile :
   ?verify_each:bool ->
   ?simulate:bool ->
   ?jobs:int ->
+  ?deadline_s:float ->
+  ?max_ticks:int ->
+  ?on_error:Pom_resilience.Policy.t ->
+  ?checkpoint:string ->
   Pom_dsl.Func.t ->
   compiled
 

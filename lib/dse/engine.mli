@@ -30,13 +30,15 @@ val passes :
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
   ?jobs:int ->
+  ?checkpoint:string ->
   ?on_stage1:(Stage1.t -> unit) ->
   ?on_result:(Stage2.result -> unit) ->
   unit ->
   Pom_pipeline.State.t Pom_pipeline.Pass.t list
 
-(** [jobs] is forwarded to {!Stage2.run}; the chosen design is identical
-    across job counts (see {!Stage2.run}). *)
+(** [jobs] and [checkpoint] are forwarded to {!Stage2.run}; the chosen
+    design is identical across job counts and across a kill-and-resume of a
+    checkpointed search (see {!Stage2.run}). *)
 val run :
   ?device:Pom_hls.Device.t ->
   ?composition:Pom_hls.Resource.composition ->
@@ -45,5 +47,6 @@ val run :
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
   ?jobs:int ->
+  ?checkpoint:string ->
   Pom_dsl.Func.t ->
   outcome

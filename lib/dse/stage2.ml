@@ -338,9 +338,14 @@ let default_steps par = [ par * 2; par * 3 / 2 ]
 
 let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     ?(par_cap = 64) ?bank_cap ?(steps = default_steps)
-    ?(cache = Pom_pipeline.Memo.global) ?(jobs = Pom_par.Par.jobs ()) func
-    (stage1 : Stage1.t) =
+    ?(cache = Pom_pipeline.Memo.global) ?(jobs = Pom_par.Par.jobs ())
+    ?checkpoint func (stage1 : Stage1.t) =
   let jobs = max 1 jobs in
+  (* Journal every genuinely synthesized design point; on resume the intact
+     records are replayed into the report memo first, so the sequential
+     replay below re-derives the exact decision sequence of the
+     uninterrupted search from warm cache entries. *)
+  Pom_pipeline.Memo.with_journal cache checkpoint @@ fun journal_notes ->
   let memo0 = Pom_pipeline.Memo.snapshot cache in
   let base = stage1.Stage1.directives in
   let prog_base = Pom_pipeline.Memo.schedule cache func base in
@@ -354,6 +359,10 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
   let search_hits = ref 0 and search_misses = ref 0 in
   let counted thunk =
     incr evaluations;
+    (* the per-evaluation fault site: [kill] here simulates the process
+       dying on the Nth sequential evaluation (the kill-and-resume test);
+       the speculative prefetch below never passes through it *)
+    Pom_resilience.Fault.point "dse:evaluate";
     let before = Pom_pipeline.Memo.snapshot cache in
     let r = thunk () in
     let after = Pom_pipeline.Memo.snapshot cache in
@@ -374,6 +383,7 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
   let current = ref (evaluate_counted ()) in
   let trace = ref [] in
   let log fmt = Format.kasprintf (fun m -> trace := m :: !trace) fmt in
+  List.iter (fun m -> log "%s" m) journal_notes;
   List.iter
     (fun u ->
       log "unit g%d {%s}: max parallelism %d" u.id
@@ -458,7 +468,37 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
               false
             end
             else begin
-            let trial = evaluate_counted () in
+            match evaluate_counted () with
+            | exception (Pom_resilience.Fault.Killed _ as e) ->
+                (* simulated process death: never absorbed *)
+                raise e
+            | exception (Pom_resilience.Budget.Budget_exceeded { reason; _ }
+                         as e) ->
+                u.par <- saved_par;
+                u.realization <- saved_real;
+                if Pom_resilience.Policy.degrading () then begin
+                  (* Degradation policy: out of time mid-search means keep
+                     the incumbent — a complete, legal design point — rather
+                     than losing the whole compile. *)
+                  log
+                    "iter %d: budget exhausted (%s); search stopped at the \
+                     incumbent"
+                    !iterations reason;
+                  continue_ := false;
+                  false
+                end
+                else raise e
+            | exception e when Pom_resilience.Policy.degrading () ->
+                (* Degradation policy: one broken candidate must not sink
+                   the search — skip it and keep exploring (POM304). *)
+                u.par <- saved_par;
+                u.realization <- saved_real;
+                log
+                  "iter %d: candidate g%d par %d -> %d evaluation failed \
+                   (%s); candidate skipped (POM304)"
+                  !iterations u.id saved_par par (Printexc.to_string e);
+                false
+            | trial ->
             let _, _, trial_report = trial in
             let _, _, cur_report = !current in
             if

@@ -62,6 +62,13 @@ type result = {
     (default {!Pom_pipeline.Memo.global}): the base-directive prefix is
     applied once, and re-requested design points skip synthesis.
 
+    [checkpoint], when given, is a crash-safe journal path: every
+    genuinely synthesized design point is appended as it is evaluated, and
+    on restart the intact records are replayed into the report memo before
+    the search begins — the sequential replay then re-derives the exact
+    decision sequence of the uninterrupted search, so a killed-and-resumed
+    run produces identical directives, tile vectors, and report.
+
     [jobs] (default {!Pom_par.Par.jobs}) sets the worker-domain budget.
     With [jobs > 1] the search speculatively evaluates the candidate
     frontier (the design points reachable within a few accepted steps)
@@ -77,6 +84,7 @@ val run :
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
   ?jobs:int ->
+  ?checkpoint:string ->
   Func.t ->
   Stage1.t ->
   result

@@ -32,7 +32,12 @@ let rec worker_loop pool =
   match task with
   | None -> ()
   | Some task ->
-      task ();
+      (* A task that raises must not tear the worker domain down: every
+         batch task already captures its own failures into its result cell,
+         so anything escaping here is a bug in the rendezvous bookkeeping —
+         swallow it and keep the domain serving, because a silently shrunk
+         pool deadlocks the next full-width batch. *)
+      (try task () with _ -> ());
       worker_loop pool
 
 let create n =
@@ -93,8 +98,23 @@ let parallel_map pool f xs =
         let was_worker = Domain.DLS.get in_worker_key in
         Domain.DLS.set in_worker_key true;
         (results.(i) <-
-          (match f items.(i) with
+          (match
+             (* cooperative deadline check on entry, and a fault-injection
+                site covering the task body *)
+             Pom_resilience.Budget.check "pool:task";
+             Pom_resilience.Fault.point "pool:task";
+             f items.(i)
+           with
           | v -> Value v
+          | exception Pom_resilience.Fault.Killed site ->
+              (* the executing domain "died" mid-task: the task fails with
+                 a typed error, the pool keeps its width *)
+              Error
+                ( Pom_resilience.Error.Error
+                    (Pom_resilience.Error.make ~code:"POM305"
+                       ~context:[ site ]
+                       "pool worker died executing this task"),
+                  Printexc.get_raw_backtrace () )
           | exception e -> Error (e, Printexc.get_raw_backtrace ())));
         Domain.DLS.set in_worker_key was_worker;
         Mutex.lock batch_lock;

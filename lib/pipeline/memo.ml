@@ -9,29 +9,38 @@ type counters = {
 }
 
 (* A table entry is either a settled value or a claim by the domain that is
-   computing it.  Claims are what keep the counters deterministic under
-   parallel DSE evaluation: when several domains race on one key, exactly one
-   counts a miss and computes; the rest block on [changed] and count hits, so
-   a batch of candidate evaluations costs one miss per distinct design point
-   regardless of scheduling. *)
-type 'v slot = Done of 'v | Inflight
+   computing it, stamped with the claim time.  Claims are what keep the
+   counters deterministic under parallel DSE evaluation: when several domains
+   race on one key, exactly one counts a miss and computes; the rest poll
+   until the slot settles and count hits, so a batch of candidate evaluations
+   costs one miss per distinct design point regardless of scheduling.
+
+   The timestamp is the liveness escape hatch: a claim whose owner died
+   without withdrawing it (a worker domain torn down mid-compute) would
+   otherwise park every future requester forever.  A waiter that has watched
+   a claim sit unchanged for [reclaim_after] seconds presumes the owner dead,
+   takes the claim over, and recomputes — one extra miss, no hang. *)
+type 'v slot = Done of 'v | Inflight of float (* claimed at *)
 
 type t = {
   schedules : (string, Pom_polyir.Prog.t slot) Hashtbl.t;
   reports : (string, (Pom_polyir.Prog.t * Report.t) slot) Hashtbl.t;
   max_entries : int;
+  reclaim_after : float;
   lock : Mutex.t;
-  changed : Condition.t; (* a slot settled, was abandoned, or a table reset *)
+  mutable report_observer :
+    (key:string -> Pom_polyir.Prog.t * Report.t -> unit) option;
   c : counters;
 }
 
-let create ?(max_entries = 4096) () =
+let create ?(max_entries = 4096) ?(reclaim_after = 30.0) () =
   {
     schedules = Hashtbl.create 256;
     reports = Hashtbl.create 256;
     max_entries;
+    reclaim_after;
     lock = Mutex.create ();
-    changed = Condition.create ();
+    report_observer = None;
     c =
       {
         schedule_hits = 0;
@@ -62,7 +71,11 @@ let clear t =
   Mutex.lock t.lock;
   Hashtbl.reset t.schedules;
   Hashtbl.reset t.reports;
-  Condition.broadcast t.changed;
+  Mutex.unlock t.lock
+
+let set_report_observer t obs =
+  Mutex.lock t.lock;
+  t.report_observer <- obs;
   Mutex.unlock t.lock
 
 (* The function fingerprint covers everything directive application and
@@ -106,7 +119,7 @@ let device_key (d : Device.t) =
 let guard_capacity t table =
   let settled =
     Hashtbl.fold
-      (fun _ s n -> match s with Done _ -> n + 1 | Inflight -> n)
+      (fun _ s n -> match s with Done _ -> n + 1 | Inflight _ -> n)
       table 0
   in
   if settled > t.max_entries then Hashtbl.reset table
@@ -115,42 +128,62 @@ let guard_capacity t table =
    out another domain's claim counts as a hit — the value is shared, not
    recomputed); otherwise claim, count a miss, and compute with the lock
    released.  An abandoned claim (compute raised) is withdrawn so waiters
-   retry instead of hanging. *)
+   retry instead of hanging; a claim whose owner died before withdrawing is
+   reclaimed by the first waiter to watch it exceed [reclaim_after].
+   Waiters poll (there is no timed [Condition.wait]): the 1 ms cadence is
+   invisible next to a synthesis, and each round re-checks the ambient
+   budget so a deadline cannot be spent parked on someone else's claim. *)
 let memoize t table key ~hit ~miss compute =
-  Mutex.lock t.lock;
+  let claim () = Hashtbl.replace table key (Inflight (Unix.gettimeofday ())) in
   let rec settle () =
     match Hashtbl.find_opt table key with
     | Some (Done v) ->
         hit t.c;
         Mutex.unlock t.lock;
         v
-    | Some Inflight ->
-        Condition.wait t.changed t.lock;
-        settle ()
-    | None -> (
+    | Some (Inflight claimed_at)
+      when Unix.gettimeofday () -. claimed_at > t.reclaim_after ->
+        (* owner presumed dead: take the claim over and recompute *)
         miss t.c;
-        Hashtbl.replace table key Inflight;
+        claim ();
+        compute_and_settle ()
+    | Some (Inflight _) ->
         Mutex.unlock t.lock;
-        match compute () with
-        | v ->
-            Mutex.lock t.lock;
-            guard_capacity t table;
-            Hashtbl.replace table key (Done v);
-            Condition.broadcast t.changed;
-            Mutex.unlock t.lock;
-            v
-        | exception e ->
-            Mutex.lock t.lock;
-            (match Hashtbl.find_opt table key with
-            | Some Inflight -> Hashtbl.remove table key
-            | _ -> ());
-            Condition.broadcast t.changed;
-            Mutex.unlock t.lock;
-            raise e)
+        Pom_resilience.Budget.check "memo:wait";
+        Unix.sleepf 0.001;
+        Mutex.lock t.lock;
+        settle ()
+    | None ->
+        miss t.c;
+        claim ();
+        compute_and_settle ()
+  and compute_and_settle () =
+    Mutex.unlock t.lock;
+    match compute () with
+    | v ->
+        Mutex.lock t.lock;
+        guard_capacity t table;
+        Hashtbl.replace table key (Done v);
+        Mutex.unlock t.lock;
+        v
+    | exception e ->
+        (* withdraw the claim so waiters retry instead of waiting out the
+           reclaim window; the fault site simulates the claimant dying
+           before it could ([poll] never raises) *)
+        if not (Pom_resilience.Fault.poll "memo:withdraw-skip") then begin
+          Mutex.lock t.lock;
+          (match Hashtbl.find_opt table key with
+          | Some (Inflight _) -> Hashtbl.remove table key
+          | _ -> ());
+          Mutex.unlock t.lock
+        end;
+        raise e
   in
+  Mutex.lock t.lock;
   settle ()
 
 let schedule t func directives =
+  Pom_resilience.Budget.check "memo:schedule";
   let key = func_key func ^ "##" ^ directives_key directives in
   memoize t t.schedules key
     ~hit:(fun c -> c.schedule_hits <- c.schedule_hits + 1)
@@ -160,26 +193,96 @@ let schedule t func directives =
         (Pom_polyir.Prog.of_func_unscheduled func)
         directives)
 
+let report_key ~composition ~latency_mode ~device ~directives func =
+  String.concat "##"
+    [
+      func_key func;
+      directives_key directives;
+      device_key device;
+      (match composition with
+      | Resource.Reuse -> "reuse"
+      | Resource.Dataflow -> "dataflow");
+      (match latency_mode with
+      | `Sequential -> "sequential"
+      | `Dataflow -> "dataflow");
+    ]
+
 let synthesize t ?(composition = Resource.Reuse) ?(latency_mode = `Sequential)
     ~device ~directives func make_prog =
-  let key =
-    String.concat "##"
-      [
-        func_key func;
-        directives_key directives;
-        device_key device;
-        (match composition with
-        | Resource.Reuse -> "reuse"
-        | Resource.Dataflow -> "dataflow");
-        (match latency_mode with
-        | `Sequential -> "sequential"
-        | `Dataflow -> "dataflow");
-      ]
-  in
+  Pom_resilience.Budget.check "memo:synthesize";
+  let key = report_key ~composition ~latency_mode ~device ~directives func in
   memoize t t.reports key
     ~hit:(fun c -> c.report_hits <- c.report_hits + 1)
     ~miss:(fun c -> c.report_misses <- c.report_misses + 1)
     (fun () ->
       let prog = make_prog () in
       let report = Report.synthesize ~composition ~latency_mode ~device prog in
+      (* genuine evaluations only: replayed (restored) design points never
+         re-fire the observer, so a resumed journal does not re-journal *)
+      (match t.report_observer with
+      | Some obs -> obs ~key (prog, report)
+      | None -> ());
       (prog, report))
+
+(* Checkpoint replay: seed a settled report without touching the counters or
+   the observer — a restored point must behave exactly like a warm cache
+   entry, so a resumed search replays into hits and reproduces the
+   uninterrupted search's decisions. *)
+let restore_report t ~key value =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.reports key with
+  | Some (Done _) -> ()
+  | _ -> Hashtbl.replace t.reports key (Done value));
+  Mutex.unlock t.lock
+
+(* The full journal protocol for one search: replay the intact records into
+   the report memo, journal every genuinely computed point while [f] runs,
+   and unhook/close no matter how [f] exits (in particular on a simulated
+   kill — the journal's flushed prefix is exactly what resume replays).
+   A record that no longer unmarshals is dropped silently: the journal is a
+   cache of recomputable work, so losing a record costs a recomputation,
+   never correctness. *)
+let with_journal t path f =
+  match path with
+  | None -> f []
+  | Some path -> (
+      match Pom_resilience.Checkpoint.load path with
+      | exception Sys_error m ->
+          f
+            [
+              Printf.sprintf
+                "checkpoint: %s unreadable (%s); continuing without a journal \
+                 (POM306)"
+                path m;
+            ]
+      | j, records ->
+          let replayed = ref 0 in
+          List.iter
+            (fun (key, data) ->
+              match
+                (Marshal.from_string data 0 : Pom_polyir.Prog.t * Report.t)
+              with
+              | v ->
+                  restore_report t ~key v;
+                  incr replayed
+              | exception _ -> ())
+            records;
+          set_report_observer t
+            (Some
+               (fun ~key value ->
+                 Pom_resilience.Checkpoint.append j ~key
+                   ~data:(Marshal.to_string value [])));
+          let notes =
+            if !replayed > 0 then
+              [
+                Printf.sprintf "checkpoint: replayed %d design points from %s"
+                  !replayed path;
+              ]
+            else
+              [ Printf.sprintf "checkpoint: journaling design points to %s" path ]
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              set_report_observer t None;
+              Pom_resilience.Checkpoint.close j)
+            (fun () -> f notes))

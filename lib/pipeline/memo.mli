@@ -24,8 +24,13 @@ type t
 
 (** [max_entries] (default 4096) bounds each table: exceeding it on insert
     drops that table wholesale, so long benchmark sweeps do not retain
-    every design point ever evaluated. *)
-val create : ?max_entries:int -> unit -> t
+    every design point ever evaluated.
+
+    [reclaim_after] (default 30 s) is how long a waiter watches another
+    domain's in-flight claim before presuming its owner dead and taking the
+    claim over (recomputing, one extra miss).  The default is far above any
+    single evaluation; tests shrink it to exercise the reclaim path. *)
+val create : ?max_entries:int -> ?reclaim_after:float -> unit -> t
 
 (** The process-wide cache used by default: sharing it across the DSE
     engine, the baselines, and the pipeline's synthesis pass is what lets a
@@ -58,3 +63,36 @@ val synthesize :
   Pom_polyir.Prog.t * Pom_hls.Report.t
 
 val clear : t -> unit
+
+(** The report-memo key for one design point — the key the checkpoint
+    journal records, stable across processes (a structural fingerprint, no
+    addresses or hashes of mutable state). *)
+val report_key :
+  composition:Pom_hls.Resource.composition ->
+  latency_mode:Pom_hls.Report.latency_mode ->
+  device:Pom_hls.Device.t ->
+  directives:Schedule.t list ->
+  Func.t ->
+  string
+
+(** Observe every genuinely computed report ([None] unhooks): fires on
+    misses only, with the lock released, after the value settles.  The DSE
+    checkpoint appends each observed design point to its journal; replayed
+    points enter through {!restore_report} and never re-fire it. *)
+val set_report_observer :
+  t -> (key:string -> Pom_polyir.Prog.t * Pom_hls.Report.t -> unit) option -> unit
+
+(** Seed a settled report under [key] without counting a hit or a miss and
+    without firing the observer — checkpoint replay, making a resumed
+    search behave as if its cache were warm.  A key already settled is left
+    alone. *)
+val restore_report :
+  t -> key:string -> Pom_polyir.Prog.t * Pom_hls.Report.t -> unit
+
+(** [with_journal t (Some path) f]: open the checkpoint journal at [path],
+    replay its intact design points into the report memo, journal every
+    genuinely computed point while [f] runs, and unhook/close however [f]
+    exits.  [f] receives trace notes (how many points were replayed, or
+    that the journal was unreadable and dropped — POM306).
+    [with_journal t None f] is [f []]. *)
+val with_journal : t -> string option -> (string list -> 'a) -> 'a

@@ -6,6 +6,31 @@ let v ~name ~descr run =
   Registry.register ~name ~descr;
   { info = { name; descr }; run }
 
+(* Wrap a pass in the resilience guard.  The wrapped pass:
+   - is a fault-injection site named ["pass:<name>"];
+   - maps any failure (including a budget timeout) to a typed
+     {!Pom_resilience.Error.t} carrying the pass name;
+   - under [--on-error degrade], a non-[required] pass records the failure
+     as a diagnostic via [diag] and passes the state through unchanged
+     (the pass is skipped); a [required] pass always re-raises the typed
+     error, as does everything when the policy is [Abort].
+   [Fault.Killed] (simulated process death) is never absorbed. *)
+let guarded ?(required = false) ~diag p =
+  let module R = Pom_resilience in
+  let run st =
+    try
+      R.Fault.point ("pass:" ^ p.info.name);
+      p.run st
+    with
+    | R.Fault.Killed _ as e -> raise e
+    | e ->
+        let err = R.Error.of_exn ~code:"POM300" ~pass:p.info.name e in
+        if required || not (R.Policy.degrading ()) then
+          raise (R.Error.Error err)
+        else diag st err
+  in
+  { info = p.info; run }
+
 type record = {
   pass : string;
   wall_s : float;

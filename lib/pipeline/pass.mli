@@ -17,6 +17,20 @@ type 's t = { info : info; run : 's -> 's }
     {!Registry}. *)
 val v : name:string -> descr:string -> ('s -> 's) -> 's t
 
+(** [guarded ~diag p] wraps [p] in the resilience guard: the wrapped pass
+    is a fault-injection site ["pass:<name>"], and any failure — including
+    a {!Pom_resilience.Budget.Budget_exceeded} deadline — becomes a typed
+    {!Pom_resilience.Error.t} naming the pass.  When the ambient
+    {!Pom_resilience.Policy} is [Degrade] and the pass is not [required]
+    (default), the failure is recorded as a diagnostic through
+    [diag state err] (which should return the state with the diagnostic
+    attached) and the pipeline continues from the unmodified state;
+    otherwise the typed error is raised for the driver's exit-code
+    contract.  [Fault.Killed] always propagates — it simulates the process
+    dying at that point. *)
+val guarded :
+  ?required:bool -> diag:('s -> Pom_resilience.Error.t -> 's) -> 's t -> 's t
+
 (** What one pass did, measured by the manager. *)
 type record = {
   pass : string;

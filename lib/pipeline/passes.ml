@@ -7,6 +7,33 @@ let prog_exn (st : State.t) what =
   | Some p -> p
   | None -> invalid_arg (what ^ ": no polyhedral program in the state")
 
+(* The [diag] hook for {!Pass.guarded} over {!State.t}: a degraded pass
+   failure becomes a warning diagnostic (the compile continued) plus a trace
+   line, carrying the typed error's code and context. *)
+let record_failure (st : State.t) (err : Pom_resilience.Error.t) =
+  let loc =
+    (match err.Pom_resilience.Error.pass with Some p -> [ p ] | None -> [])
+    @ err.Pom_resilience.Error.context
+  in
+  let d =
+    Pom_analysis.Diagnostic.warning ~code:err.Pom_resilience.Error.code ~loc
+      ~note:"pass skipped under --on-error degrade"
+      err.Pom_resilience.Error.message
+  in
+  {
+    st with
+    State.diags = st.State.diags @ [ d ];
+    trace =
+      st.State.trace
+      @ [
+          Printf.sprintf "degraded: %s (%s)"
+            (Option.value ~default:"?" err.Pom_resilience.Error.pass)
+            err.Pom_resilience.Error.code;
+        ];
+  }
+
+let guard ?required p = Pass.guarded ?required ~diag:record_failure p
+
 let structural () =
   Pass.v ~name:"structural-directives"
     ~descr:"append the specification's after/fuse structure"
@@ -46,21 +73,50 @@ let legality_check () =
             st with
             State.trace = st.State.trace @ [ "legality: no polyhedral IR yet" ];
           }
-      | Some prog ->
-          let vs =
+      | Some prog -> (
+          match
             Pom_polyir.Legality.violations ~original:(State.reference st)
               ~transformed:prog
-          in
-          let verdict =
-            match vs with
-            | [] -> "legal"
-            | vs -> Printf.sprintf "%d reversed dependences" (List.length vs)
-          in
-          {
-            st with
-            State.legality_violations = List.length vs;
-            trace = st.State.trace @ [ "legality: " ^ verdict ];
-          })
+          with
+          | vs ->
+              let verdict =
+                match vs with
+                | [] -> "legal"
+                | vs ->
+                    Printf.sprintf "%d reversed dependences" (List.length vs)
+              in
+              {
+                st with
+                State.legality_violations = List.length vs;
+                trace = st.State.trace @ [ "legality: " ^ verdict ];
+              }
+          | exception (Pom_resilience.Budget.Budget_exceeded { site; reason }
+                       as e) ->
+              (* Degradation policy: an unproven schedule is an illegal
+                 schedule.  Under [degrade] the timeout conservatively
+                 rejects the transform (counted as a violation, POM302
+                 diagnostic); under [abort] it propagates to the guard. *)
+              if not (Pom_resilience.Policy.degrading ()) then raise e
+              else
+                let d =
+                  Pom_analysis.Diagnostic.warning ~code:"POM302"
+                    ~loc:[ "legality-check"; site ]
+                    ~note:
+                      "raise --deadline or simplify the schedule to complete \
+                       the proof"
+                    (Printf.sprintf
+                       "legality proof timed out (%s); schedule conservatively \
+                        rejected"
+                       reason)
+                in
+                {
+                  st with
+                  State.legality_violations = 1;
+                  diags = st.State.diags @ [ d ];
+                  trace =
+                    st.State.trace
+                    @ [ "legality: timed out -> conservatively rejected" ];
+                }))
 
 let lint_pragmas () =
   Pass.v ~name:"lint-pragmas"

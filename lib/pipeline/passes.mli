@@ -10,6 +10,14 @@
     [after]/[fuse] structure at level >= 1. *)
 val structural_directives : Pom_dsl.Func.t -> Pom_dsl.Schedule.t list
 
+(** Record a degraded pass failure on the state: a warning diagnostic with
+    the typed error's code/pass/context, plus a trace line. *)
+val record_failure : State.t -> Pom_resilience.Error.t -> State.t
+
+(** [guard p] is {!Pass.guarded} with {!record_failure} as the diagnostic
+    hook — the standard wrapping for every pass over {!State.t}. *)
+val guard : ?required:bool -> State.t Pass.t -> State.t Pass.t
+
 (** Append the specification's structural fusion directives. *)
 val structural : unit -> State.t Pass.t
 

@@ -125,6 +125,26 @@ let compact constrs =
   in
   prune None [] constrs
 
+(* FM blowup guard: one elimination may not materialize more combined
+   constraints than this before compaction.  The default sits far above
+   anything a well-formed kernel produces; lowering it turns pathological
+   projections into a typed [Budget_exceeded] instead of a quadratic spin.
+   An [Atomic] so DSE worker domains see a test/CLI override. *)
+let default_projection_cap = 20_000
+
+let cap = Atomic.make default_projection_cap
+
+let projection_cap () = Atomic.get cap
+
+let set_projection_cap n = Atomic.set cap (max 1 n)
+
+let with_projection_cap n f =
+  let prev = Atomic.get cap in
+  set_projection_cap n;
+  Fun.protect ~finally:(fun () -> Atomic.set cap prev) f
+
+let fm_site = "poly:fm-projection"
+
 (* Eliminate equalities on [d] first when one has coefficient +-1: exact
    integer substitution.  Otherwise fall back to pairwise FM combination.
    Either way the result is compacted: projection is where constraint counts
@@ -141,6 +161,7 @@ let project_out d s =
     in
     match unit_eq with
     | Some c ->
+        Pom_resilience.Budget.tick fm_site;
         (* c*d + rest = 0 with c = +-1, so d = -rest/c *)
         let e = Constr.expr c in
         let cd = Linexpr.coeff e d in
@@ -183,6 +204,21 @@ let project_out d s =
                     uppers := (-cd, others) :: !uppers
                   end)
           s.constrs;
+        let n_low = List.length !lowers and n_up = List.length !uppers in
+        let materialized = (n_low * n_up) + List.length !rest in
+        if materialized > Atomic.get cap then
+          raise
+            (Pom_resilience.Budget.Budget_exceeded
+               {
+                 site = fm_site;
+                 reason =
+                   Printf.sprintf
+                     "eliminating %s would combine %d lower x %d upper \
+                      bounds into %d constraints (cap %d)"
+                     d n_low n_up materialized (Atomic.get cap);
+               });
+        (* the combination work is proportional to what it materializes *)
+        Pom_resilience.Budget.tick ~cost:(max 1 (n_low * n_up)) fm_site;
         let combined =
           List.concat_map
             (fun (cl, el) ->

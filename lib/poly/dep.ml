@@ -74,8 +74,22 @@ let analyze ~domain ~source ~sink =
       Pom_par.Par.filter_map
         (fun level ->
           let conflict = conflict_at_level ~domain ~source ~sink level in
-          if Feasible.is_empty conflict then None
-          else Some { level; distance = distance_entries ~ds conflict })
+          try
+            if Feasible.is_empty conflict then None
+            else Some { level; distance = distance_entries ~ds conflict }
+          with Pom_resilience.Budget.Budget_exceeded _ as e ->
+            (* Degradation policy: a dependence test that ran out of budget
+               must err conservative — assume the dependence exists, with
+               unknown ([None]/[None] -> [Star]) distances at this level.
+               Every transform that would need the distance is then rejected
+               as unsafe, which loses performance but never correctness. *)
+            if Pom_resilience.Policy.degrading () then
+              Some
+                {
+                  level;
+                  distance = List.map (fun _ -> { dmin = None; dmax = None }) ds;
+                }
+            else raise e)
         (List.init n (fun k -> k + 1))
     in
     if carried = [] then None

@@ -41,13 +41,15 @@ let rec first_point s =
       let lb, ub = range_with_window d s in
       let rec try_value v =
         if v > ub then None
-        else
+        else begin
+          Pom_resilience.Budget.tick "poly:enumerate";
           let s' = fix_dim d v s in
           if Basic_set.is_obviously_empty s' then try_value (v + 1)
           else
             match first_point s' with
             | Some rest -> Some (v :: rest)
             | None -> try_value (v + 1)
+        end
       in
       try_value lb
 
@@ -69,6 +71,7 @@ let fold_points ?(limit = default_limit) f init s =
           incr count;
           if !count > limit then
             invalid_arg "Feasible: enumeration limit exceeded";
+          Pom_resilience.Budget.tick "poly:enumerate";
           f acc (List.rev prefix)
         end
     | d :: _ -> (

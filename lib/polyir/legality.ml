@@ -108,6 +108,10 @@ let violations ~original ~transformed =
   @@ List.concat
   @@ Pom_par.Par.map
        (fun (a, b) ->
+         (* cooperative deadline check between pairs: a legality run on a
+            big statement set stops at a pair boundary, and the guard layer
+            maps the timeout to "reject the transform" (POM302) *)
+         Pom_resilience.Budget.check "legality:pair";
          let accesses =
            List.map (fun r -> (a.write, r, `Raw)) b.reads
            @ List.map (fun r -> (r, b.write, `War)) a.reads

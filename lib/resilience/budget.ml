@@ -1,0 +1,71 @@
+exception Budget_exceeded of { site : string; reason : string }
+
+type t = {
+  deadline : float option;  (* absolute Unix.gettimeofday seconds *)
+  max_ticks : int option;
+  ticks : int Atomic.t;
+}
+
+(* The ambient budget.  An [Atomic] rather than DLS: pool worker domains
+   must observe the budget the submitting domain installed, so a deadline
+   covers speculative DSE evaluation and parallel legality checking without
+   threading a token through every call. *)
+let current : t option Atomic.t = Atomic.make None
+
+let install ?deadline_s ?max_ticks () =
+  match (deadline_s, max_ticks) with
+  | None, None -> Atomic.set current None
+  | _ ->
+      Atomic.set current
+        (Some
+           {
+             deadline =
+               Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
+             max_ticks;
+             ticks = Atomic.make 0;
+           })
+
+let clear () = Atomic.set current None
+
+let active () = Atomic.get current <> None
+
+let with_budget ?deadline_s ?max_ticks f =
+  match (deadline_s, max_ticks) with
+  | None, None -> f ()
+  | _ ->
+      let saved = Atomic.get current in
+      install ?deadline_s ?max_ticks ();
+      Fun.protect ~finally:(fun () -> Atomic.set current saved) f
+
+let ticks () =
+  match Atomic.get current with
+  | None -> 0
+  | Some b -> Atomic.get b.ticks
+
+let exceeded site reason = raise (Budget_exceeded { site; reason })
+
+let check_budget b site =
+  (match b.deadline with
+  | Some d ->
+      let now = Unix.gettimeofday () in
+      if now > d then
+        exceeded site (Printf.sprintf "deadline passed %.3f s ago" (now -. d))
+  | None -> ());
+  match b.max_ticks with
+  | Some m ->
+      let n = Atomic.get b.ticks in
+      if n > m then
+        exceeded site (Printf.sprintf "work budget spent (%d ticks > %d)" n m)
+  | None -> ()
+
+let check site =
+  match Atomic.get current with
+  | None -> ()
+  | Some b -> check_budget b site
+
+let tick ?(cost = 1) site =
+  match Atomic.get current with
+  | None -> ()
+  | Some b ->
+      ignore (Atomic.fetch_and_add b.ticks (max 1 cost));
+      check_budget b site

@@ -1,0 +1,58 @@
+type t = { path : string; oc : out_channel; lock : Mutex.t }
+
+let magic = "POMJRNL1\n"
+
+(* Read every intact record; returns them with the byte offset one past the
+   last intact record, so a torn tail can be truncated away. *)
+let read_records ic =
+  let records = ref [] in
+  let good = ref (pos_in ic) in
+  (try
+     while true do
+       let (key, data) : string * string = Marshal.from_channel ic in
+       records := (key, data) :: !records;
+       good := pos_in ic
+     done
+   with End_of_file | Failure _ -> ());
+  (List.rev !records, !good)
+
+let load path =
+  let records, tail_ok =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let header = really_input_string ic (min (String.length magic) (in_channel_length ic)) in
+      if header <> magic then begin
+        close_in ic;
+        ([], None)  (* unrecognized: restart empty *)
+      end
+      else begin
+        let records, good = read_records ic in
+        close_in ic;
+        (records, Some good)
+      end
+    end
+    else ([], None)
+  in
+  (match tail_ok with
+  | Some good ->
+      (* torn tail from a crash mid-append: cut back to the intact prefix *)
+      if good < (Unix.stat path).Unix.st_size then Unix.truncate path good
+  | None ->
+      let oc = open_out_bin path in
+      output_string oc magic;
+      close_out oc);
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  ({ path; oc; lock = Mutex.create () }, records)
+
+let append t ~key ~data =
+  Mutex.lock t.lock;
+  Marshal.to_channel t.oc (key, data) [];
+  flush t.oc;
+  Mutex.unlock t.lock
+
+let path t = t.path
+
+let close t =
+  Mutex.lock t.lock;
+  (try close_out t.oc with Sys_error _ -> ());
+  Mutex.unlock t.lock

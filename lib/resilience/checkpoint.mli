@@ -1,0 +1,27 @@
+(** A crash-safe append-only journal of keyed records.
+
+    The DSE searches journal every design point they evaluate ([key] = the
+    report-memo key, [data] = the marshalled evaluation); a process killed
+    mid-search loses at most the record being written.  On reopen, the
+    journal replays every intact record and truncates a torn tail (the
+    partial record a crash can leave), so resuming appends from a
+    consistent prefix.
+
+    The file starts with a versioned magic header; a file with the wrong
+    header (corrupt, or a different format) is restarted empty rather than
+    trusted — the journal is a cache of recomputable work, so dropping it
+    degrades to recomputation, never to a wrong result. *)
+
+type t
+
+(** [load path] opens (creating if needed) the journal and returns it with
+    the intact records, oldest first.  A torn trailing record is truncated
+    away; an unrecognized header restarts the file empty. *)
+val load : string -> t * (string * string) list
+
+(** Append one record and flush it to the OS.  Thread-safe. *)
+val append : t -> key:string -> data:string -> unit
+
+val path : t -> string
+
+val close : t -> unit

@@ -1,0 +1,45 @@
+(** Typed compile failures: the structured replacement for bare [failwith]
+    on the core compile paths.
+
+    Every resilience-layer abort carries a stable POM3xx code, the pass
+    that was running (when known), a context trace (innermost first), and
+    a message — so the driver can print one uniform diagnostic and honor
+    the exit-code contract, and tests can assert on codes instead of
+    message text.
+
+    Code range [POM3xx] (resilience):
+    - [POM300] pass failed (unexpected exception)
+    - [POM301] budget exceeded (deadline or work cap)
+    - [POM302] legality proof timed out — schedule conservatively rejected
+    - [POM303] dependence proof timed out — dependence assumed
+    - [POM304] DSE candidate evaluation failed — candidate skipped
+    - [POM305] pool worker died — task failed with this typed error
+    - [POM306] checkpoint journal unreadable — search restarted fresh
+    - [POM307] front-end parse error *)
+
+type t = {
+  code : string;  (** stable identifier, e.g. ["POM301"] *)
+  pass : string option;  (** the pass running when the failure surfaced *)
+  context : string list;  (** innermost first *)
+  message : string;
+}
+
+exception Error of t
+
+val make : code:string -> ?pass:string -> ?context:string list -> string -> t
+
+(** [raise_ ~code msg] raises {!Error}. *)
+val raise_ : code:string -> ?pass:string -> ?context:string list -> string -> 'a
+
+(** Re-raise [Error] with [frame] prepended to the context trace; any other
+    exception passes through untouched. *)
+val with_context : string -> (unit -> 'a) -> 'a
+
+(** Build a typed error from an arbitrary exception.  A {!Budget.Budget_exceeded}
+    maps to [POM301] (keeping its site in the context); anything else keeps
+    the given [code]. *)
+val of_exn : code:string -> ?pass:string -> exn -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

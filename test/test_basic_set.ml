@@ -229,6 +229,39 @@ let test_fm_projection_stays_bounded () =
   in
   ()
 
+let test_fm_projection_cap () =
+  (* the library-level cap bounds the constraints a single elimination may
+     materialize; an absurdly low cap must trip it as a typed budget
+     failure, and the previous cap must be restored afterwards *)
+  let dims = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+  let chain =
+    let rec pairs = function
+      | x :: (y :: _ as rest) -> Constr.le (v x) (v y) :: pairs rest
+      | [ _ ] | [] -> []
+    in
+    (Constr.ge (v "a") (c 0) :: pairs dims)
+    @ [ Constr.le (v "f") (c 40) ]
+    @ List.map (fun d -> Constr.ge (v d) (c (-5))) dims
+    @ List.map (fun d -> Constr.le (v d) (c 100)) dims
+  in
+  let s = Basic_set.make dims chain in
+  let s = Basic_set.intersect s s in
+  Alcotest.(check int)
+    "default cap" Basic_set.default_projection_cap
+    (Basic_set.projection_cap ());
+  (match
+     Basic_set.with_projection_cap 2 (fun () -> Basic_set.project_out "b" s)
+   with
+  | exception Pom_resilience.Budget.Budget_exceeded { site; _ } ->
+      Alcotest.(check string) "site" "poly:fm-projection" site
+  | _ -> Alcotest.fail "expected the projection cap to trip");
+  Alcotest.(check int)
+    "cap restored" Basic_set.default_projection_cap
+    (Basic_set.projection_cap ());
+  (* a generous cap admits the same projection untouched *)
+  let p = Basic_set.with_projection_cap 10_000 (fun () -> Basic_set.project_out "b" s) in
+  Alcotest.(check bool) "dim gone" false (List.mem "b" (Basic_set.dims p))
+
 let () =
   Alcotest.run "basic_set"
     [
@@ -252,6 +285,7 @@ let () =
           Alcotest.test_case "fix_dim substitution" `Quick test_fix_dim;
           Alcotest.test_case "FM projection stays bounded" `Quick
             test_fm_projection_stays_bounded;
+          Alcotest.test_case "FM projection cap" `Quick test_fm_projection_cap;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_projection_is_shadow ]);
     ]

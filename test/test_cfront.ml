@@ -7,9 +7,25 @@ let test_lexer () =
   let toks = Lexer.tokenize "for (int i = 0; i < 32; i++) A[i] += 2.5f;" in
   Alcotest.(check int) "token count" 22 (List.length toks);
   Alcotest.(check bool) "float literal" true
-    (List.exists (function Lexer.Float f -> f = 2.5 | _ -> false) toks);
+    (List.exists
+       (fun (l : Lexer.located) ->
+         match l.Lexer.tok with Lexer.Float f -> f = 2.5 | _ -> false)
+       toks);
   Alcotest.(check bool) "two-char punct" true
-    (List.exists (function Lexer.Punct "+=" -> true | _ -> false) toks)
+    (List.exists
+       (fun (l : Lexer.located) -> l.Lexer.tok = Lexer.Punct "+=")
+       toks)
+
+let test_lexer_positions () =
+  (* positions are 1-based and survive comments/newlines *)
+  let toks = Lexer.tokenize "ab /* c */\n  xy" in
+  match toks with
+  | [ a; x; eof ] ->
+      Alcotest.(check (pair int int)) "first token" (1, 1) (a.Lexer.line, a.Lexer.col);
+      Alcotest.(check (pair int int)) "after comment+newline" (2, 3)
+        (x.Lexer.line, x.Lexer.col);
+      Alcotest.(check bool) "eof last" true (eof.Lexer.tok = Lexer.Eof)
+  | _ -> Alcotest.fail "expected 3 tokens"
 
 let test_lexer_comments_and_pragmas () =
   let toks =
@@ -19,8 +35,11 @@ let test_lexer_comments_and_pragmas () =
   Alcotest.(check int) "only idents + eof" 3 (List.length toks)
 
 let test_lexer_error () =
-  Alcotest.check_raises "bad character" (Lexer.Lex_error "unexpected character @")
-    (fun () -> ignore (Lexer.tokenize "a @ b"))
+  match Lexer.tokenize "a\nb @ c" with
+  | exception Lexer.Lex_error { line; col; message } ->
+      Alcotest.(check (pair int int)) "position" (2, 3) (line, col);
+      Alcotest.(check string) "message" "unexpected character @" message
+  | _ -> Alcotest.fail "expected a lex error"
 
 let gemm_src =
   {|
@@ -147,6 +166,22 @@ let expect_parse_error src =
   | exception Parse.Parse_error _ -> ()
   | _ -> Alcotest.fail "expected a parse error"
 
+let test_parse_error_positions () =
+  (* a structured error points into the offending source line *)
+  match
+    parse
+      "void f(float A[8]) {\n\
+      \  for (int i = 0; i < 8; i++)\n\
+      \    B[i] = 1.0f;\n\
+       }"
+  with
+  | exception Parse.Parse_error { line; col; token; message } ->
+      Alcotest.(check int) "line" 3 line;
+      Alcotest.(check bool) "column set" true (col >= 1);
+      Alcotest.(check bool) "token set" true (token <> "");
+      Alcotest.(check bool) "message set" true (message <> "")
+  | _ -> Alcotest.fail "expected a parse error"
+
 let test_rejections () =
   (* non-affine index *)
   expect_parse_error
@@ -196,6 +231,7 @@ let () =
       ( "lexer",
         [
           Alcotest.test_case "tokens" `Quick test_lexer;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
           Alcotest.test_case "comments and pragmas" `Quick
             test_lexer_comments_and_pragmas;
           Alcotest.test_case "errors" `Quick test_lexer_error;
@@ -213,6 +249,8 @@ let () =
             test_le_bound_and_offsets;
           Alcotest.test_case "integer kernels" `Quick test_int_kernel_dtype;
           Alcotest.test_case "rejections" `Quick test_rejections;
+          Alcotest.test_case "error positions" `Quick
+            test_parse_error_positions;
         ] );
       ( "end-to-end",
         [

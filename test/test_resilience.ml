@@ -1,0 +1,347 @@
+(* The resilience layer: cooperative budgets, typed failures and per-pass
+   degradation, crash-safe DSE checkpointing, the hardened worker pool, and
+   the deterministic fault-injection knob that exercises all of it. *)
+
+module R = Pom_resilience
+module Memo = Pom_pipeline.Memo
+module Polybench = Pom_workloads.Polybench
+
+let with_faults spec f =
+  R.Fault.configure spec;
+  Fun.protect ~finally:R.Fault.reset f
+
+(* -------- budgets -------- *)
+
+let test_budget_ticks () =
+  Alcotest.(check bool) "no ambient budget" false (R.Budget.active ());
+  (match
+     R.Budget.with_budget ~max_ticks:10 (fun () ->
+         for _ = 1 to 20 do
+           R.Budget.tick "test:loop"
+         done)
+   with
+  | exception R.Budget.Budget_exceeded { site; _ } ->
+      Alcotest.(check string) "site" "test:loop" site
+  | () -> Alcotest.fail "expected the tick cap to trip");
+  Alcotest.(check bool) "budget restored" false (R.Budget.active ())
+
+let test_budget_deadline () =
+  match
+    R.Budget.with_budget ~deadline_s:0.0 (fun () ->
+        Unix.sleepf 0.002;
+        R.Budget.check "test:deadline")
+  with
+  | exception R.Budget.Budget_exceeded { site; _ } ->
+      Alcotest.(check string) "site" "test:deadline" site
+  | () -> Alcotest.fail "expected the deadline to trip"
+
+let test_budget_noop_without_install () =
+  (* without a budget every check is free and silent *)
+  R.Budget.check "test:none";
+  R.Budget.tick ~cost:1_000_000 "test:none"
+
+(* -------- policy -------- *)
+
+let test_policy_parse () =
+  Alcotest.(check bool) "abort" true
+    (R.Policy.of_string "abort" = Ok R.Policy.Abort);
+  Alcotest.(check bool) "degrade" true
+    (R.Policy.of_string "degrade" = Ok R.Policy.Degrade);
+  Alcotest.(check bool) "junk rejected" true
+    (match R.Policy.of_string "explode" with Error _ -> true | Ok _ -> false);
+  R.Policy.with_policy R.Policy.Degrade (fun () ->
+      Alcotest.(check bool) "degrading inside" true (R.Policy.degrading ()));
+  Alcotest.(check bool) "restored outside" false (R.Policy.degrading ())
+
+(* -------- fault injection -------- *)
+
+let test_fault_spec () =
+  with_faults "test:site=fail@2" (fun () ->
+      R.Fault.point "test:site";
+      R.Fault.point "test:other";
+      match R.Fault.point "test:site" with
+      | exception R.Fault.Injected site ->
+          Alcotest.(check string) "second visit fires" "test:site" site
+      | () -> Alcotest.fail "expected the injected failure");
+  Alcotest.(check bool) "reset disarms" false (R.Fault.enabled ());
+  Alcotest.(check bool) "malformed spec rejected" true
+    (match R.Fault.configure "nonsense" with
+    | exception Invalid_argument _ -> true
+    | () ->
+        R.Fault.reset ();
+        false)
+
+let test_fault_kinds () =
+  with_faults "a=timeout@1,b=kill@1" (fun () ->
+      (match R.Fault.point "a" with
+      | exception R.Budget.Budget_exceeded _ -> ()
+      | () -> Alcotest.fail "timeout kind should raise Budget_exceeded");
+      match R.Fault.point "b" with
+      | exception R.Fault.Killed "b" -> ()
+      | _ -> Alcotest.fail "kill kind should raise Killed")
+
+(* -------- checkpoint journal -------- *)
+
+let test_checkpoint_roundtrip () =
+  let path = Filename.temp_file "pom_ckpt" ".jrnl" in
+  Sys.remove path;
+  let j, recs = R.Checkpoint.load path in
+  Alcotest.(check int) "fresh journal empty" 0 (List.length recs);
+  R.Checkpoint.append j ~key:"k1" ~data:"d1";
+  R.Checkpoint.append j ~key:"k2" ~data:"d2";
+  R.Checkpoint.close j;
+  let j2, recs2 = R.Checkpoint.load path in
+  R.Checkpoint.close j2;
+  Alcotest.(check (list (pair string string)))
+    "records replay in order"
+    [ ("k1", "d1"); ("k2", "d2") ]
+    recs2;
+  (* a crash mid-append leaves a torn tail: it must be truncated away and
+     the journal must keep accepting appends afterwards *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "torn";
+  close_out oc;
+  let j3, recs3 = R.Checkpoint.load path in
+  Alcotest.(check int) "torn tail dropped" 2 (List.length recs3);
+  R.Checkpoint.append j3 ~key:"k3" ~data:"d3";
+  R.Checkpoint.close j3;
+  let j4, recs4 = R.Checkpoint.load path in
+  R.Checkpoint.close j4;
+  Alcotest.(check int) "extends cleanly after recovery" 3 (List.length recs4);
+  (* an unrecognized header is restarted empty, not trusted *)
+  let oc = open_out_bin path in
+  output_string oc "NOTAJRNL\nwhatever";
+  close_out oc;
+  let j5, recs5 = R.Checkpoint.load path in
+  R.Checkpoint.close j5;
+  Alcotest.(check int) "bad magic restarts empty" 0 (List.length recs5);
+  Sys.remove path
+
+(* -------- memo in-flight claim reclaim -------- *)
+
+let test_memo_claim_reclaim () =
+  let cache = Memo.create ~reclaim_after:0.05 () in
+  let func = Polybench.gemm 16 in
+  let device = Pom_hls.Device.xc7z020 in
+  (* leak an in-flight claim: the compute fails AND the owner "dies" before
+     withdrawing (the fault skips the withdrawal, as a killed domain would) *)
+  with_faults "memo:withdraw-skip=fail@1" (fun () ->
+      match
+        Memo.synthesize cache ~device ~directives:[] func (fun () ->
+            failwith "boom")
+      with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected the compute to fail");
+  (* after reclaim_after the stale claim is presumed dead and taken over *)
+  Unix.sleepf 0.06;
+  let _, report =
+    Memo.synthesize cache ~device ~directives:[] func (fun () ->
+        Pom_polyir.Prog.of_func_unscheduled func)
+  in
+  Alcotest.(check bool) "stale claim reclaimed, value computed" true
+    (report.Pom_hls.Report.latency > 0)
+
+(* -------- hardened worker pool -------- *)
+
+let test_pool_worker_killed () =
+  with_faults "pool:task=kill@1" (fun () ->
+      Pom_par.Par.with_jobs 2 (fun () ->
+          (match Pom_par.Par.map (fun x -> x + 1) [ 1; 2; 3 ] with
+          | exception R.Error.Error e ->
+              Alcotest.(check string) "typed worker death" "POM305"
+                e.R.Error.code
+          | _ -> Alcotest.fail "expected a POM305 error");
+          (* the pool survives the death: the next map still runs *)
+          Alcotest.(check (list int))
+            "pool alive afterwards" [ 2; 3; 4 ]
+            (Pom_par.Par.map (fun x -> x + 1) [ 1; 2; 3 ])))
+
+(* -------- per-pass degradation matrix -------- *)
+
+(* Inject a failure into each pass of the `Baseline flow in turn.  Under
+   --on-error degrade a skippable pass becomes a POM300 warning diagnostic
+   and the compile still delivers; a required pass (one that produces the
+   artifact) aborts with the typed error under either policy. *)
+let skippable_passes =
+  [ "structural-directives"; "legality-check"; "lint-pragmas"; "verify-ir" ]
+
+let required_passes =
+  [
+    "schedule-apply";
+    "hls-synthesize";
+    "affine-lower";
+    "affine-simplify";
+    "emit-hls-c";
+  ]
+
+let test_fault_matrix_degrade () =
+  List.iter
+    (fun name ->
+      with_faults
+        (Printf.sprintf "pass:%s=fail@1" name)
+        (fun () ->
+          let c =
+            Pom.compile ~framework:`Baseline ~on_error:R.Policy.Degrade
+              (Polybench.gemm 16)
+          in
+          Alcotest.(check bool)
+            (name ^ " degraded to a POM300 diagnostic")
+            true
+            (List.exists
+               (fun (d : Pom_analysis.Diagnostic.t) ->
+                 d.Pom_analysis.Diagnostic.code = "POM300"
+                 && (match d.Pom_analysis.Diagnostic.loc with
+                    | p :: _ -> p = name
+                    | [] -> false))
+               c.Pom.diags)))
+    skippable_passes;
+  List.iter
+    (fun name ->
+      with_faults
+        (Printf.sprintf "pass:%s=fail@1" name)
+        (fun () ->
+          match
+            Pom.compile ~framework:`Baseline ~on_error:R.Policy.Degrade
+              (Polybench.gemm 16)
+          with
+          | exception R.Error.Error e ->
+              Alcotest.(check string)
+                (name ^ " aborts even when degrading")
+                "POM300" e.R.Error.code
+          | _ -> Alcotest.failf "required pass %s must not be skipped" name))
+    required_passes
+
+let test_fault_matrix_abort_policy () =
+  (* the default policy turns any guarded failure into the typed error *)
+  with_faults "pass:lint-pragmas=fail@1" (fun () ->
+      match Pom.compile ~framework:`Baseline (Polybench.gemm 16) with
+      | exception R.Error.Error e ->
+          Alcotest.(check string) "POM300 under abort" "POM300" e.R.Error.code;
+          Alcotest.(check (option string))
+            "failing pass recorded"
+            (Some "lint-pragmas") e.R.Error.pass
+      | _ -> Alcotest.fail "expected the typed abort")
+
+let test_fault_timeout_degrades_to_pom301 () =
+  with_faults "pass:legality-check=timeout@1" (fun () ->
+      let c =
+        Pom.compile ~framework:`Baseline ~on_error:R.Policy.Degrade
+          (Polybench.gemm 16)
+      in
+      Alcotest.(check bool) "timeout surfaces as POM301" true
+        (List.exists
+           (fun (d : Pom_analysis.Diagnostic.t) ->
+             d.Pom_analysis.Diagnostic.code = "POM301")
+           c.Pom.diags))
+
+let test_fault_kill_is_never_absorbed () =
+  with_faults "pass:lint-pragmas=kill@1" (fun () ->
+      match
+        Pom.compile ~framework:`Baseline ~on_error:R.Policy.Degrade
+          (Polybench.gemm 16)
+      with
+      | exception R.Fault.Killed _ -> ()
+      | _ -> Alcotest.fail "a kill must unwind even under degrade")
+
+(* -------- deadline acceptance -------- *)
+
+let test_deadline_aborts_cleanly () =
+  (* an effectively-zero deadline on a large kernel: the compile must exit
+     with the typed budget diagnostic, not hang or crash *)
+  match
+    Pom.compile ~framework:`Pom_auto ~jobs:1 ~deadline_s:1e-4
+      (Polybench.gemm 256)
+  with
+  | exception R.Error.Error e ->
+      Alcotest.(check string) "typed budget abort" "POM301" e.R.Error.code
+  | exception R.Budget.Budget_exceeded _ -> ()
+  | _ -> Alcotest.fail "expected the deadline to abort the compile"
+
+(* -------- checkpoint kill-and-resume acceptance -------- *)
+
+let test_checkpoint_kill_and_resume () =
+  let module Engine = Pom_dse.Engine in
+  let func = Polybench.gemm 32 in
+  (* ground truth: one uninterrupted search on a cold private cache *)
+  let full = (Engine.run ~cache:(Memo.create ()) ~jobs:1 func).Engine.result in
+  Alcotest.(check bool) "search long enough to kill mid-way" true
+    (full.Pom_dse.Stage2.evaluations > 4);
+  let path = Filename.temp_file "pom_dse" ".jrnl" in
+  Sys.remove path;
+  (* the same search, checkpointed, killed on its 4th sequential
+     evaluation — simulating the process dying mid-DSE *)
+  R.Fault.configure "dse:evaluate=kill@4";
+  (match Engine.run ~cache:(Memo.create ()) ~jobs:1 ~checkpoint:path func with
+  | exception R.Fault.Killed site ->
+      Alcotest.(check string) "died at the evaluation site" "dse:evaluate"
+        site
+  | _ -> Alcotest.fail "expected the injected kill to unwind");
+  R.Fault.reset ();
+  Alcotest.(check bool) "journal survived the kill" true
+    (Sys.file_exists path);
+  (* resume on a fresh cold cache: the journal replays the evaluated
+     points, and the search re-derives the identical final design *)
+  let resumed =
+    (Engine.run ~cache:(Memo.create ()) ~jobs:1 ~checkpoint:path func)
+      .Engine.result
+  in
+  Alcotest.(check bool) "identical directives" true
+    (full.Pom_dse.Stage2.directives = resumed.Pom_dse.Stage2.directives);
+  Alcotest.(check bool) "identical tile vectors" true
+    (full.Pom_dse.Stage2.tile_vectors = resumed.Pom_dse.Stage2.tile_vectors);
+  Alcotest.(check int) "identical latency"
+    full.Pom_dse.Stage2.report.Pom_hls.Report.latency
+    resumed.Pom_dse.Stage2.report.Pom_hls.Report.latency;
+  Alcotest.(check bool) "identical report" true
+    (full.Pom_dse.Stage2.report = resumed.Pom_dse.Stage2.report);
+  (* the resumed run actually used the journal: some of its evaluations
+     were served by replay instead of cold synthesis *)
+  Alcotest.(check bool) "resume replayed journaled work" true
+    (resumed.Pom_dse.Stage2.cold_syntheses
+    < full.Pom_dse.Stage2.cold_syntheses);
+  Sys.remove path
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "tick cap" `Quick test_budget_ticks;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "no-op without install" `Quick
+            test_budget_noop_without_install;
+        ] );
+      ("policy", [ Alcotest.test_case "parse and scope" `Quick test_policy_parse ]);
+      ( "fault injection",
+        [
+          Alcotest.test_case "spec and arming" `Quick test_fault_spec;
+          Alcotest.test_case "kinds" `Quick test_fault_kinds;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip and torn tail" `Quick
+            test_checkpoint_roundtrip;
+        ] );
+      ( "memo",
+        [ Alcotest.test_case "stale claim reclaim" `Quick test_memo_claim_reclaim ] );
+      ( "pool",
+        [ Alcotest.test_case "worker death is typed" `Quick test_pool_worker_killed ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "fault matrix (degrade)" `Quick
+            test_fault_matrix_degrade;
+          Alcotest.test_case "fault matrix (abort)" `Quick
+            test_fault_matrix_abort_policy;
+          Alcotest.test_case "timeout becomes POM301" `Quick
+            test_fault_timeout_degrades_to_pom301;
+          Alcotest.test_case "kill is never absorbed" `Quick
+            test_fault_kill_is_never_absorbed;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "deadline aborts cleanly" `Slow
+            test_deadline_aborts_cleanly;
+          Alcotest.test_case "checkpoint kill-and-resume" `Slow
+            test_checkpoint_kill_and_resume;
+        ] );
+    ]
