@@ -14,18 +14,31 @@ let kernels =
 
 let repeats = 3
 
+(* total process CPU seconds, children included — in procs mode the
+   evaluation burns inside reaped worker processes, so cutime/cstime is
+   where the shards show up *)
+let cpu_now () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime +. t.Unix.tms_cutime
+  +. t.Unix.tms_cstime
+
 (* best-of-N, fresh memo per run: a warm cache would hide the search cost *)
 let measure ~jobs build =
-  let best = ref infinity and outcome = ref None in
+  let best = ref infinity and cpu = ref infinity and outcome = ref None in
   for _ = 1 to repeats do
     let cache = Pom.Pipeline.Memo.create () in
     let t0 = Unix.gettimeofday () in
+    let c0 = cpu_now () in
     let o = Pom.Dse.Engine.run ~cache ~jobs (build ()) in
     let dt = Unix.gettimeofday () -. t0 in
-    if dt < !best then best := dt;
+    let dc = cpu_now () -. c0 in
+    if dt < !best then begin
+      best := dt;
+      cpu := dc
+    end;
     outcome := Some o
   done;
-  (!best, Option.get !outcome)
+  (!best, !cpu, Option.get !outcome)
 
 let directive_strings (o : Pom.Dse.Engine.outcome) =
   List.map
@@ -38,16 +51,19 @@ let same_design (a : Pom.Dse.Engine.outcome) (b : Pom.Dse.Engine.outcome) =
   && ra.Pom.Dse.Stage2.tile_vectors = rb.Pom.Dse.Stage2.tile_vectors
   && ra.Pom.Dse.Stage2.report = rb.Pom.Dse.Stage2.report
 
-let run ?(jobs = max 4 Pom.Par.default_jobs) () =
+let run ?(jobs = max 4 Pom.Par.default_jobs) ?(mode = Pom.Par.Domains) () =
+  Pom.Par.set_mode mode;
+  let mode_name = Pom.Par.mode_to_string mode in
   Util.section
-    (Printf.sprintf "BENCH dse | DSE wall clock, jobs=1 vs jobs=%d (size %d)"
-       jobs size);
+    (Printf.sprintf
+       "BENCH dse | DSE wall clock, jobs=1 vs jobs=%d (%s, size %d)" jobs
+       mode_name size);
   let rows =
     List.map
       (fun (name, build) ->
-        let t1, o1 = measure ~jobs:1 build in
-        let tn, on_ = measure ~jobs build in
-        (name, t1, tn, same_design o1 on_))
+        let t1, c1, o1 = measure ~jobs:1 build in
+        let tn, cn, on_ = measure ~jobs build in
+        (name, t1, c1, tn, cn, same_design o1 on_))
       kernels
   in
   Util.print_table
@@ -56,33 +72,43 @@ let run ?(jobs = max 4 Pom.Par.default_jobs) () =
       "jobs=1 (s)";
       Printf.sprintf "jobs=%d (s)" jobs;
       "speedup";
+      "cpu (s)";
       "identical design";
     ]
     (List.map
-       (fun (name, t1, tn, identical) ->
+       (fun (name, t1, _, tn, cn, identical) ->
          [
            name;
            Printf.sprintf "%.3f" t1;
            Printf.sprintf "%.3f" tn;
            Printf.sprintf "%.2fx" (t1 /. tn);
+           Printf.sprintf "%.3f" cn;
            (if identical then "yes" else "NO");
          ])
        rows);
   let oc = open_out "BENCH_dse.json" in
-  Printf.fprintf oc "{\n  \"size\": %d,\n  \"jobs\": %d,\n  \"kernels\": [\n"
-    size jobs;
+  Printf.fprintf oc
+    "{\n\
+    \  \"size\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"jobs_mode\": %S,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"kernels\": [\n"
+    size jobs mode_name
+    (Domain.recommended_domain_count ());
   List.iteri
-    (fun i (name, t1, tn, identical) ->
+    (fun i (name, t1, c1, tn, cn, identical) ->
       Printf.fprintf oc
-        "    { \"name\": %S, \"wall_s_jobs1\": %.6f, \"wall_s_jobsN\": %.6f, \
-         \"speedup\": %.4f, \"identical_design\": %b }%s\n"
-        name t1 tn (t1 /. tn) identical
+        "    { \"name\": %S, \"wall_s_jobs1\": %.6f, \"cpu_s_jobs1\": %.6f, \
+         \"wall_s_jobsN\": %.6f, \"cpu_s_jobsN\": %.6f, \"speedup\": %.4f, \
+         \"identical_design\": %b }%s\n"
+        name t1 c1 tn cn (t1 /. tn) identical
         (if i < List.length rows - 1 then "," else ""))
     rows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "\nwrote BENCH_dse.json\n";
-  if List.exists (fun (_, _, _, identical) -> not identical) rows then begin
+  if List.exists (fun (_, _, _, _, _, identical) -> not identical) rows then begin
     Printf.eprintf
       "bench dse: design differs across job counts — determinism broken\n";
     exit 1

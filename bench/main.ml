@@ -10,9 +10,12 @@
 (* worker-domain budget for the dse experiment (-j/--jobs) *)
 let jobs_flag = ref (max 4 Pom.Par.default_jobs)
 
+(* how the dse experiment spends that budget (--jobs-mode) *)
+let mode_flag = ref Pom.Par.Domains
+
 let experiments =
   [
-    ("dse", fun () -> Bench_dse.run ~jobs:!jobs_flag ());
+    ("dse", fun () -> Bench_dse.run ~jobs:!jobs_flag ~mode:!mode_flag ());
     ("fig2", Bench_fig2.run);
     ("table3", Bench_table3.run);
     ("fig11", Bench_fig11.run);
@@ -103,6 +106,13 @@ let () =
             Printf.eprintf "-j expects a positive integer, got %s\n" n;
             exit 1);
         strip rest
+    | "--jobs-mode" :: m :: rest ->
+        (match Pom.Par.mode_of_string m with
+        | Ok mode -> mode_flag := mode
+        | Error msg ->
+            prerr_endline msg;
+            exit 1);
+        strip rest
     | x :: rest -> x :: strip rest
     | [] -> []
   in
@@ -112,7 +122,7 @@ let () =
       run_bechamel ()
   | [ "bechamel" ] ->
       run_bechamel ();
-      Bench_dse.run ~jobs:!jobs_flag ()
+      Bench_dse.run ~jobs:!jobs_flag ~mode:!mode_flag ()
   | ids ->
       List.iter
         (fun id ->

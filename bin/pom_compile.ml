@@ -74,9 +74,14 @@ let framework_of_string = function
 
 let run workload from_c size framework schedules lint werror emit_c emit_mlir
     emit_testbench validate check_legality timeline trace timing dump_after
-    verify_each resource_frac jobs deadline on_error checkpoint inject
-    list_workloads =
+    verify_each resource_frac jobs jobs_mode _worker deadline on_error
+    checkpoint inject list_workloads =
   Pom.Par.set_jobs jobs;
+  (match Pom.Par.mode_of_string jobs_mode with
+  | Ok m -> Pom.Par.set_mode m
+  | Error m ->
+      prerr_endline m;
+      exit 1);
   let on_error =
     match Pom.Resilience.Policy.of_string on_error with
     | Ok p -> p
@@ -377,6 +382,31 @@ let jobs_arg =
            (default: the machine's recommended domain count).  The compiled \
            design is identical for every N; N=1 runs fully sequentially.")
 
+let jobs_mode_arg =
+  Arg.(
+    value
+    & opt string "domains"
+    & info [ "jobs-mode" ] ~docv:"MODE"
+        ~doc:
+          "How the -j budget is spent: 'domains' (default) shares the \
+           evaluation across OCaml domains in this process; 'procs' \
+           shards it across N 'pom_compile --worker' child processes \
+           speaking the framed wire protocol on their pipes.  Either \
+           mode compiles the identical design.")
+
+(* --worker never reaches Cmdliner (it is intercepted in the entry
+   point below, before argv parsing), but declaring it here documents
+   the flag in --help. *)
+let worker_arg =
+  Arg.(
+    value & flag
+    & info [ "worker" ]
+        ~doc:
+          "Run as a DSE evaluation worker: serve framed work units on \
+           stdin/stdout until the parent closes the pipe.  Spawned \
+           automatically by --jobs-mode procs; not intended for \
+           interactive use.")
+
 let deadline_arg =
   Arg.(
     value
@@ -446,7 +476,12 @@ let cmd =
       $ schedule_arg $ lint_arg $ werror_arg $ emit_c_arg $ emit_mlir_arg
       $ emit_testbench_arg $ validate_arg $ check_legality_arg $ timeline_arg
       $ trace_arg $ timing_arg $ dump_after_arg $ verify_each_arg $ frac_arg
-      $ jobs_arg $ deadline_arg $ on_error_arg $ checkpoint_arg $ inject_arg
-      $ list_arg)
+      $ jobs_arg $ jobs_mode_arg $ worker_arg $ deadline_arg $ on_error_arg
+      $ checkpoint_arg $ inject_arg $ list_arg)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (* --worker must not pay for (or be confused by) Cmdliner parsing: the
+     protocol owns stdin/stdout from the first byte. *)
+  if Array.exists (String.equal "--worker") Sys.argv then
+    exit (Pom.Dse.Worker.main ())
+  else exit (Cmd.eval' cmd)

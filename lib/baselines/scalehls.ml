@@ -211,49 +211,92 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?checkpoint
             bram = Resource.bram18_blocks device;
           }
       in
+      (* Process sharding (--jobs-mode procs): ladder rungs are dealt to
+         worker processes as framed hardware-directive candidates; their
+         keyed replies are absorbed into this memo, warming exactly the
+         entries the greedy walk will ask for.  Pool spawn failure
+         degrades to sequential evaluation. *)
+      let pool =
+        if
+          jobs <= 1
+          || Pom_par.Par.mode () <> Pom_par.Par.Procs
+          || Pom_par.Pool.in_worker ()
+        then None
+        else
+          match
+            Pom_dse.Workpool.create ~jobs ~func ~device ~composition
+              ~latency_mode ~base ()
+          with
+          | pool -> Some pool
+          | exception _ -> None
+      in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Pom_dse.Workpool.shutdown pool)
+      @@ fun () ->
       (* With a worker budget, warm the report memo for all of a unit's
          ladder rungs before its greedy walk: a rung evaluation depends only
          on this unit's degree (the other units' realizations are frozen
          during the walk), so the whole ladder is known up front.  The walk
          itself replays the sequential algorithm against warm cache
          entries — results and counters are unchanged. *)
+      let ladder_points u =
+        let realize_at par =
+          List.map
+            (fun (c, order, extents) -> Stage2.realize c order extents par)
+            u.members
+        in
+        let rungs, _ =
+          List.fold_left
+            (fun (acc, seen) par ->
+              if par <= u.par then (acc, seen)
+              else
+                let r = realize_at par in
+                if List.mem r seen then (acc, seen)
+                else ((par, r) :: acc, r :: seen))
+            ([], [ realize_at u.par ])
+            ladder
+        in
+        let point (_, r) =
+          List.map
+            (fun v -> if v.id = u.id then r else v.realization)
+            units
+        in
+        List.map point (List.rev rungs)
+      in
       let prefetch_ladder =
         if jobs <= 1 || Pom_par.Pool.in_worker () then None
         else
-          Some
-            (fun u ->
-              let realize_at par =
-                List.map
-                  (fun (c, order, extents) ->
-                    Stage2.realize c order extents par)
-                  u.members
-              in
-              let rungs, _ =
-                List.fold_left
-                  (fun (acc, seen) par ->
-                    if par <= u.par then (acc, seen)
-                    else
-                      let r = realize_at par in
-                      if List.mem r seen then (acc, seen)
-                      else ((par, r) :: acc, r :: seen))
-                  ([], [ realize_at u.par ])
-                  ladder
-              in
-              let point (_, r) =
-                List.map
-                  (fun v -> if v.id = u.id then r else v.realization)
-                  units
-              in
-              Pom_par.Par.with_jobs jobs (fun () ->
-                  ignore
-                    (Pom_par.Par.map
-                       (fun rung ->
-                         try
-                           ignore
-                             (evaluate_realized ~cache ~device ~composition
-                                ~latency_mode func base (point rung))
-                         with _ -> ())
-                       (List.rev rungs))))
+          match pool with
+          | Some pool ->
+              Some
+                (fun u ->
+                  let hws =
+                    List.map
+                      (List.concat_map (fun rs ->
+                           List.concat_map
+                             (fun r -> r.Stage2.hw_directives)
+                             rs))
+                      (ladder_points u)
+                  in
+                  if hws <> [] then
+                    List.iter
+                      (fun (key, v) -> Memo.absorb_report cache ~key v)
+                      (Pom_dse.Workpool.eval pool hws))
+          | None when Pom_par.Par.mode () = Pom_par.Par.Procs -> None
+          | None ->
+              Some
+                (fun u ->
+                  Pom_par.Par.with_jobs jobs (fun () ->
+                      ignore
+                        (Pom_par.Par.map
+                           (fun point ->
+                             try
+                               ignore
+                                 (evaluate_realized ~cache ~device
+                                    ~composition ~latency_mode func base
+                                    point)
+                             with _ -> ())
+                           (ladder_points u))))
       in
       if not huge then
         List.iter

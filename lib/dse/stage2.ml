@@ -396,27 +396,98 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
      must not be able to abort the search — and nothing below mutates the
      search state, so the replayed decisions (and every counter the replay
      increments) are exactly those of the sequential algorithm. *)
+  (* Process sharding (--jobs-mode procs): the same speculative frontier,
+     dealt to worker processes over framed pipes instead of pool domains.
+     Workers compute design points with the exact evaluate_realized
+     recipe and reply keyed for this memo, so absorbing them is
+     indistinguishable from having computed them here — and the
+     sequential replay stays bit-identical.  A pool that cannot be
+     spawned degrades to sequential evaluation (never a failed search). *)
+  let pool =
+    if
+      jobs <= 1
+      || Pom_par.Par.mode () <> Pom_par.Par.Procs
+      || Pom_par.Pool.in_worker ()
+    then None
+    else
+      match
+        Workpool.create ~jobs ~func ~device ~composition
+          ~latency_mode:`Sequential ~base ?bank_cap ()
+      with
+      | pool -> Some pool
+      | exception e ->
+          log
+            "parallel: worker pool unavailable (%s); evaluating sequentially"
+            (Printexc.to_string e);
+          None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Workpool.shutdown pool)
+  @@ fun () ->
+  let depth = min 3 (max 1 (jobs - 1)) in
+  let cap = 4 * jobs in
   let prefetch =
     if jobs <= 1 || Pom_par.Pool.in_worker () then None
-    else begin
-      let depth = min 3 (max 1 (jobs - 1)) in
-      let cap = 4 * jobs in
-      log "parallel: %d-way speculative evaluation (frontier depth %d, cap %d)"
-        jobs depth cap;
-      Some
-        (fun () ->
-          let cands = frontier ~steps ~depth ~cap units in
-          Pom_par.Par.with_jobs jobs (fun () ->
-              ignore
-                (Pom_par.Par.map
-                   (fun pars ->
-                     try
-                       ignore
-                         (evaluate_realized ?bank_cap ~cache ~device
-                            ~composition func base (realizations_of units pars))
-                     with _ -> ())
-                   cands)))
-    end
+    else
+      match pool with
+      | Some pool ->
+          log
+            "parallel: %d-way process-sharded speculative evaluation \
+             (frontier depth %d, cap %d)"
+            jobs depth cap;
+          (* candidates already dealt in an earlier iteration are warm (or
+             in this iteration's absorb path); don't re-ship them *)
+          let dispatched = Hashtbl.create 64 in
+          Some
+            (fun () ->
+              let cands = frontier ~steps ~depth ~cap units in
+              let hws =
+                List.filter_map
+                  (fun pars ->
+                    let hw =
+                      List.concat_map
+                        (fun rs ->
+                          List.concat_map (fun r -> r.hw_directives) rs)
+                        (realizations_of units pars)
+                    in
+                    let k =
+                      String.concat ";"
+                        (List.map (Format.asprintf "%a" Schedule.pp) hw)
+                    in
+                    if Hashtbl.mem dispatched k then None
+                    else begin
+                      Hashtbl.add dispatched k ();
+                      Some hw
+                    end)
+                  cands
+              in
+              if hws <> [] then
+                List.iter
+                  (fun (key, v) ->
+                    Pom_pipeline.Memo.absorb_report cache ~key v)
+                  (Workpool.eval pool hws))
+      | None when Pom_par.Par.mode () = Pom_par.Par.Procs ->
+          (* procs requested but no pool: Par.map is sequential in this
+             mode, so a domain-style warm would only repeat the replay *)
+          None
+      | None ->
+          log
+            "parallel: %d-way speculative evaluation (frontier depth %d, \
+             cap %d)"
+            jobs depth cap;
+          Some
+            (fun () ->
+              let cands = frontier ~steps ~depth ~cap units in
+              Pom_par.Par.with_jobs jobs (fun () ->
+                  ignore
+                    (Pom_par.Par.map
+                       (fun pars ->
+                         try
+                           ignore
+                             (evaluate_realized ?bank_cap ~cache ~device
+                                ~composition func base
+                                (realizations_of units pars))
+                         with _ -> ())
+                       cands)))
   in
   let iterations = ref 0 in
   let pruned = ref 0 in

@@ -1,0 +1,56 @@
+module W = Pom_wire.Wire
+module Memo = Pom_pipeline.Memo
+
+(* One candidate, evaluated exactly as {!Stage2.evaluate_realized} would:
+   same memoized base-prefix application, same partition plan, same
+   directive concatenation order — so the memo key and the report are the
+   ones the parent's sequential replay will ask for. *)
+let evaluate ~cache (h : Workpool.hello) hw =
+  let prog0 = Memo.schedule cache h.Workpool.func h.Workpool.base in
+  let prog0 = List.fold_left Pom_polyir.Prog.apply prog0 hw in
+  let parts = Stage2.partition_plan ?bank_cap:h.Workpool.bank_cap prog0 in
+  let directives = h.Workpool.base @ hw @ parts in
+  let prog, report =
+    Memo.synthesize cache ~composition:h.Workpool.composition
+      ~latency_mode:h.Workpool.latency_mode ~device:h.Workpool.device
+      ~directives h.Workpool.func (fun () ->
+        List.fold_left Pom_polyir.Prog.apply prog0 parts)
+  in
+  let key =
+    Memo.report_key ~composition:h.Workpool.composition
+      ~latency_mode:h.Workpool.latency_mode ~device:h.Workpool.device
+      ~directives h.Workpool.func
+  in
+  (key, prog, report)
+
+let main () =
+  (* a worker is one shard: everything inside it runs sequentially *)
+  Pom_par.Par.set_jobs 1;
+  let hello = ref None in
+  let cache = Memo.create () in
+  Pom_par.Procs.serve ~header:Workpool.header (fun ~tag payload ->
+      if tag = Workpool.tag_hello then begin
+        (match W.of_string Workpool.hello_codec payload with
+        | Ok h -> hello := Some h
+        | Error _ ->
+            (* an undecodable hello leaves every evaluation unanswerable;
+               replies stay [None] and the parent degrades *)
+            hello := None);
+        None
+      end
+      else if tag = Workpool.tag_eval then begin
+        let result =
+          match !hello with
+          | None -> None
+          | Some h -> (
+              match W.of_string Workpool.request_codec payload with
+              | Error _ -> None
+              | Ok hw -> (
+                  try Some (evaluate ~cache h hw) with _ -> None))
+        in
+        Some (Workpool.tag_eval, W.to_string Workpool.reply_codec result)
+      end
+      else
+        (* unknown request tag from a newer parent: answer with an empty
+           eval reply to keep the request/reply lockstep *)
+        Some (Workpool.tag_eval, W.to_string Workpool.reply_codec None))

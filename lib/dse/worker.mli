@@ -1,0 +1,5 @@
+(** The worker side of [pom_compile --worker]: serve framed DSE
+    evaluation requests on stdin/stdout until the parent closes the
+    pipe.  Returns the process exit code. *)
+
+val main : unit -> int

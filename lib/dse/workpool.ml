@@ -1,0 +1,78 @@
+open Pom_dsl
+open Pom_hls
+module W = Pom_wire.Wire
+module Procs = Pom_par.Procs
+
+let header = { Pom_wire.Frame.kind = "pom-dse-worker"; version = 1 }
+let tag_hello = 1
+let tag_eval = 2
+
+type hello = {
+  func : Func.t;
+  device : Device.t;
+  composition : Resource.composition;
+  latency_mode : Report.latency_mode;
+  base : Schedule.t list;
+  bank_cap : int option;
+}
+
+let hello_codec =
+  W.record6 "hello"
+    (W.field "func" Pom_dsl.Wirec.func (fun h -> h.func))
+    (W.field "device" Pom_hls.Wirec.device (fun h -> h.device))
+    (W.field "composition" Pom_hls.Wirec.composition (fun h -> h.composition))
+    (W.field "latency_mode" Pom_hls.Wirec.latency_mode (fun h ->
+         h.latency_mode))
+    (W.field "base" (W.list Pom_dsl.Wirec.schedule) (fun h -> h.base))
+    (W.field "bank_cap" (W.option W.int) (fun h -> h.bank_cap))
+    (fun func device composition latency_mode base bank_cap ->
+      { func; device; composition; latency_mode; base; bank_cap })
+
+let request_codec = W.list Pom_dsl.Wirec.schedule
+
+let reply_codec =
+  W.option (W.triple W.string Pom_polyir.Wirec.prog Pom_hls.Wirec.report)
+
+type t = { procs : Procs.t }
+
+let default_exe () =
+  match Sys.getenv_opt "POM_WORKER_EXE" with
+  | Some exe when exe <> "" -> exe
+  | _ ->
+      let self = Sys.executable_name in
+      let base = Filename.basename self in
+      if base = "pom_compile.exe" || base = "pom_compile" then self
+      else
+        (* tests and benches run from inside _build with the compiled
+           driver one directory over *)
+        let sibling =
+          Filename.concat (Filename.dirname self)
+            (Filename.concat Filename.parent_dir_name
+               (Filename.concat "bin" "pom_compile.exe"))
+        in
+        if Sys.file_exists sibling then sibling else self
+
+let create ?exe ~jobs ~func ~device ~composition ~latency_mode ~base ?bank_cap
+    () =
+  let exe = match exe with Some e -> e | None -> default_exe () in
+  let procs = Procs.create ~exe ~args:[ "--worker" ] ~header ~jobs in
+  Procs.broadcast procs ~tag:tag_hello
+    (W.to_string hello_codec
+       { func; device; composition; latency_mode; base; bank_cap });
+  { procs }
+
+let eval t candidates =
+  let payloads = List.map (W.to_string request_codec) candidates in
+  let replies = Procs.rpc t.procs ~tag:tag_eval payloads in
+  List.filter_map
+    (fun reply ->
+      match reply with
+      | None -> None
+      | Some payload -> (
+          (* a corrupt reply loses one speculative point, nothing more *)
+          match W.of_string reply_codec payload with
+          | Ok (Some (key, prog, report)) -> Some (key, (prog, report))
+          | Ok None | Error _ -> None))
+    replies
+
+let shutdown t = Procs.shutdown t.procs

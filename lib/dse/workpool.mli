@@ -1,0 +1,78 @@
+(** Process-sharded DSE evaluation: the client side of the
+    [pom_compile --worker] protocol.
+
+    A pool is bound to one search (one function, device, composition,
+    latency mode and base-directive prefix, broadcast once as a hello
+    record); {!eval} then deals candidate hardware-directive lists to
+    the workers and returns the evaluated design points, each already
+    keyed with the report-memo key — the caller merges them with
+    {!Pom_pipeline.Memo.absorb_report} and replays its exact sequential
+    search against the warm cache, which is what keeps procs-mode
+    results bit-identical to [--jobs 1].
+
+    The protocol is a {!Pom_wire.Frame} stream (kind
+    ["pom-dse-worker"]): record tag 1 is the hello, tag 2 an evaluate
+    request/reply.  Workers that die or answer garbage just cost their
+    share of the speculative work. *)
+
+open Pom_dsl
+open Pom_hls
+
+type t
+
+(** Stream header the parent and workers must agree on. *)
+val header : Pom_wire.Frame.header
+
+(** The worker executable: [POM_WORKER_EXE] when set and non-empty,
+    else this executable when it already is [pom_compile], else
+    [../bin/pom_compile.exe] next to this executable when that exists
+    (tests and benches running inside [_build]), else
+    [Sys.executable_name]. *)
+val default_exe : unit -> string
+
+(** Spawn [jobs] workers ([exe --worker]) and broadcast the search
+    description.  Raises when the workers cannot be spawned or greet
+    with a mismatched protocol — callers degrade to sequential
+    evaluation. *)
+val create :
+  ?exe:string ->
+  jobs:int ->
+  func:Func.t ->
+  device:Device.t ->
+  composition:Resource.composition ->
+  latency_mode:Report.latency_mode ->
+  base:Schedule.t list ->
+  ?bank_cap:int ->
+  unit ->
+  t
+
+(** [eval t candidates]: each candidate is the hardware-directive list
+    of one design point (relative to the broadcast base).  Returns the
+    successfully evaluated points — [(memo key, (prog, report))] — in
+    no guaranteed order; candidates whose evaluation failed (infeasible
+    schedule, dead worker) are simply absent. *)
+val eval :
+  t ->
+  Schedule.t list list ->
+  (string * (Pom_polyir.Prog.t * Report.t)) list
+
+val shutdown : t -> unit
+
+(** {1 Protocol internals (shared with {!Worker})} *)
+
+type hello = {
+  func : Func.t;
+  device : Device.t;
+  composition : Resource.composition;
+  latency_mode : Report.latency_mode;
+  base : Schedule.t list;
+  bank_cap : int option;
+}
+
+val tag_hello : int
+val tag_eval : int
+val hello_codec : hello Pom_wire.Wire.t
+val request_codec : Schedule.t list Pom_wire.Wire.t
+
+val reply_codec :
+  (string * Pom_polyir.Prog.t * Report.t) option Pom_wire.Wire.t

@@ -1,0 +1,19 @@
+(** Wire codecs for the DSL layer: data types, iterators, placeholders,
+    expressions, computes, schedule directives, and whole functions.
+
+    The [func] codec rebuilds through the public builder API
+    ({!Func.create}/{!Func.add_compute}/{!Func.schedule}), so a decoded
+    function re-runs the same registration checks as one written by
+    hand — corrupt input that violates them surfaces as a typed
+    {!Pom_wire.Wire.Corrupt}, not as a malformed value. *)
+
+val dtype : Dtype.t Pom_wire.Wire.t
+val var : Var.t Pom_wire.Wire.t
+val placeholder : Placeholder.t Pom_wire.Wire.t
+val index : Expr.index Pom_wire.Wire.t
+val cond : Expr.cond Pom_wire.Wire.t
+val expr : Expr.t Pom_wire.Wire.t
+val compute : Compute.t Pom_wire.Wire.t
+val partition_kind : Schedule.partition_kind Pom_wire.Wire.t
+val schedule : Schedule.t Pom_wire.Wire.t
+val func : Func.t Pom_wire.Wire.t

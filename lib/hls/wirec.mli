@@ -1,0 +1,8 @@
+(** Wire codecs for the virtual-synthesizer layer: devices, resource
+    usage, composition/latency modes, and synthesis reports. *)
+
+val device : Device.t Pom_wire.Wire.t
+val usage : Resource.usage Pom_wire.Wire.t
+val composition : Resource.composition Pom_wire.Wire.t
+val latency_mode : Report.latency_mode Pom_wire.Wire.t
+val report : Report.t Pom_wire.Wire.t

@@ -1,4 +1,23 @@
 module Pool = Pool
+module Procs = Procs
+
+type mode = Domains | Procs
+
+let mode_state = Atomic.make Domains
+let mode () = Atomic.get mode_state
+let set_mode m = Atomic.set mode_state m
+
+let with_mode m f =
+  let saved = mode () in
+  set_mode m;
+  Fun.protect ~finally:(fun () -> set_mode saved) f
+
+let mode_to_string = function Domains -> "domains" | Procs -> "procs"
+
+let mode_of_string = function
+  | "domains" -> Ok Domains
+  | "procs" -> Ok Procs
+  | s -> Error (Printf.sprintf "unknown jobs mode %S (domains|procs)" s)
 
 let default_jobs = max 1 (Domain.recommended_domain_count ())
 
@@ -45,10 +64,14 @@ let pool () =
   Mutex.unlock shared_lock;
   p
 
+(* In [Procs] mode domain-level fan-out is off: parallelism comes from
+   worker processes driven explicitly (e.g. {!Pom_dse}'s work pool), and
+   the wrappers fall back to their sequential identities. *)
+let sequential () = jobs () <= 1 || mode () = Procs || Pool.in_worker ()
+
 let map f xs =
-  if jobs () <= 1 || Pool.in_worker () then List.map f xs
-  else Pool.parallel_map (pool ()) f xs
+  if sequential () then List.map f xs else Pool.parallel_map (pool ()) f xs
 
 let filter_map f xs =
-  if jobs () <= 1 || Pool.in_worker () then List.filter_map f xs
+  if sequential () then List.filter_map f xs
   else Pool.parallel_filter_map (pool ()) f xs

@@ -9,6 +9,23 @@
     shared {!Pool.t}, preserving input order and exception behaviour. *)
 
 module Pool = Pool
+module Procs = Procs
+
+(** Where parallel work runs: [Domains] (the default) fans
+    {!map}/{!filter_map} out over the shared domain pool; [Procs] turns
+    those wrappers sequential and leaves parallelism to explicitly-driven
+    worker processes ({!Procs}, [pom_compile --worker]), which are immune
+    to domain-overhead pathologies and one step from distribution. *)
+type mode = Domains | Procs
+
+val mode : unit -> mode
+val set_mode : mode -> unit
+
+(** Run [f] under [m], restoring the previous mode afterwards. *)
+val with_mode : mode -> (unit -> 'a) -> 'a
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
 
 (** What [Domain.recommended_domain_count ()] reported at startup; the
     initial value of [jobs ()]. *)

@@ -1,0 +1,209 @@
+module Wire = Pom_wire.Wire
+module Frame = Pom_wire.Frame
+
+type worker = {
+  pid : int;
+  to_w : out_channel;
+  from_w : in_channel;
+  mutable alive : bool;
+}
+
+type t = { workers : worker array; mutable open_ : bool }
+
+(* The parent writes into pipes whose reader can die at any moment; a
+   SIGPIPE would kill the whole compile, so writes must fail as
+   [Sys_error EPIPE] instead and mark the worker dead. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let kill_worker w =
+  if w.alive then begin
+    w.alive <- false;
+    (try close_out w.to_w with Sys_error _ -> ());
+    (try close_in w.from_w with Sys_error _ -> ())
+  end
+
+let reap w =
+  match Unix.waitpid [] w.pid with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let spawn exe args =
+  let in_read, in_write = Unix.pipe ~cloexec:false () in
+  let out_read, out_write = Unix.pipe ~cloexec:false () in
+  Unix.set_close_on_exec in_write;
+  Unix.set_close_on_exec out_read;
+  let pid =
+    try
+      Unix.create_process exe
+        (Array.of_list (exe :: args))
+        in_read out_write Unix.stderr
+    with e ->
+      Unix.close in_read; Unix.close in_write;
+      Unix.close out_read; Unix.close out_write;
+      raise e
+  in
+  Unix.close in_read;
+  Unix.close out_write;
+  let to_w = Unix.out_channel_of_descr in_write in
+  let from_w = Unix.in_channel_of_descr out_read in
+  set_binary_mode_out to_w true;
+  set_binary_mode_in from_w true;
+  { pid; to_w; from_w; alive = true }
+
+let shutdown t =
+  if t.open_ then begin
+    t.open_ <- false;
+    Array.iter kill_worker t.workers;
+    Array.iter reap t.workers
+  end
+
+let create ~exe ~args ~header ~jobs =
+  Lazy.force ignore_sigpipe;
+  let jobs = max 1 jobs in
+  let workers = ref [] in
+  let t () = { workers = Array.of_list (List.rev !workers); open_ = true } in
+  try
+    for _ = 1 to jobs do
+      workers := spawn exe args :: !workers
+    done;
+    (* handshake: send our header, check each echo.  Done after all spawns
+       so a slow exec does not serialize the fan-out. *)
+    List.iter
+      (fun w ->
+        Frame.output_header w.to_w header;
+        flush w.to_w)
+      !workers;
+    List.iter
+      (fun w ->
+        let h = Frame.input_header ~what:"worker greeting" w.from_w in
+        if h.Frame.kind <> header.Frame.kind then
+          raise
+            (Wire.Corrupt
+               {
+                 what = "worker greeting";
+                 detail =
+                   Printf.sprintf "stream kind %S, expected %S" h.Frame.kind
+                     header.Frame.kind;
+               });
+        if h.Frame.version <> header.Frame.version then
+          raise
+            (Wire.Version_mismatch
+               {
+                 what = "worker greeting";
+                 expected = header.Frame.version;
+                 got = h.Frame.version;
+               }))
+      !workers;
+    t ()
+  with e ->
+    shutdown (t ());
+    raise e
+
+let alive t =
+  Array.fold_left (fun n w -> if w.alive then n + 1 else n) 0 t.workers
+
+let broadcast t ~tag payload =
+  Array.iter
+    (fun w ->
+      if w.alive then
+        try
+          Frame.output_record w.to_w ~tag payload;
+          flush w.to_w
+        with Sys_error _ -> kill_worker w)
+    t.workers
+
+let rpc t ~tag payloads =
+  let items = Array.of_list payloads in
+  let m = Array.length items in
+  let results = Array.make m None in
+  let n = Array.length t.workers in
+  let queues = Array.make n [] in
+  Array.iteri (fun i _ -> queues.(i mod n) <- i :: queues.(i mod n)) items;
+  let queues = Array.map List.rev queues in
+  let outstanding = Array.make n (-1) in
+  let rec send_next wi =
+    let w = t.workers.(wi) in
+    match queues.(wi) with
+    | [] -> ()
+    | _ :: _ when not w.alive ->
+        (* dead worker: its share is lost (speculative work only) *)
+        queues.(wi) <- []
+    | i :: rest -> (
+        queues.(wi) <- rest;
+        match
+          Frame.output_record w.to_w ~tag items.(i);
+          flush w.to_w
+        with
+        | () -> outstanding.(wi) <- i
+        | exception Sys_error _ ->
+            kill_worker w;
+            send_next wi)
+  in
+  for wi = 0 to n - 1 do
+    send_next wi
+  done;
+  let busy () = Array.exists (fun i -> i >= 0) outstanding in
+  while busy () do
+    for wi = 0 to n - 1 do
+      if outstanding.(wi) >= 0 then begin
+        let w = t.workers.(wi) in
+        let i = outstanding.(wi) in
+        (match Frame.input_record ~what:"worker reply" w.from_w with
+        | Some (rtag, payload) when rtag = tag -> results.(i) <- Some payload
+        | Some _ -> () (* unrecognized reply tag: item unanswered *)
+        | None -> kill_worker w
+        | exception (Wire.Corrupt _ | Sys_error _ | End_of_file) ->
+            kill_worker w);
+        outstanding.(wi) <- -1;
+        send_next wi
+      end
+    done
+  done;
+  Array.to_list results
+
+let serve ~header handle =
+  set_binary_mode_in stdin true;
+  set_binary_mode_out stdout true;
+  let protocol_error detail =
+    prerr_endline ("worker: " ^ detail);
+    2
+  in
+  match Frame.input_header ~what:"worker stdin" stdin with
+  | exception Wire.Corrupt { detail; _ } -> protocol_error detail
+  | exception Wire.Version_mismatch { expected; got; _ } ->
+      protocol_error
+        (Printf.sprintf "framing version %d, expected %d (POM309)" got expected)
+  | h when h.Frame.kind <> header.Frame.kind ->
+      protocol_error
+        (Printf.sprintf "stream kind %S, expected %S" h.Frame.kind
+           header.Frame.kind)
+  | h when h.Frame.version <> header.Frame.version ->
+      protocol_error
+        (Printf.sprintf "protocol version %d, expected %d (POM309)"
+           h.Frame.version header.Frame.version)
+  | _ -> (
+      match
+        Frame.output_header stdout header;
+        flush stdout
+      with
+      | exception Sys_error _ -> 0 (* parent already gone *)
+      | () ->
+          let rec loop () =
+            match Frame.input_record ~what:"worker request" stdin with
+            | None -> 0 (* clean EOF: parent closed our stdin *)
+            | Some (tag, payload) -> (
+                match handle ~tag payload with
+                | None -> loop ()
+                | Some (rtag, reply) -> (
+                    match
+                      Frame.output_record stdout ~tag:rtag reply;
+                      flush stdout
+                    with
+                    | () -> loop ()
+                    | exception Sys_error _ -> 0))
+            | exception Wire.Corrupt { detail; _ } -> protocol_error detail
+          in
+          loop ())

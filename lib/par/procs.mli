@@ -1,0 +1,54 @@
+(** A pool of worker processes speaking framed wire records over pipes.
+
+    The parent spawns N copies of an executable (normally
+    [pom_compile --worker]), exchanges {!Pom_wire.Frame} headers with
+    each (both directions, so a version skew is caught before any work
+    is dealt), and then drives request/reply record traffic.  Flow
+    control is one outstanding request per worker: the parent deals the
+    next payload only after reading the previous reply, so neither side
+    can fill a pipe while the other is blocked writing — deadlock-free
+    without select loops or threads.
+
+    Failure model: a worker that dies, writes garbage, or fails its CRC
+    is marked dead and its undelivered items come back as [None].  The
+    pool is used for speculative cache warming, so lost work degrades
+    throughput, never correctness. *)
+
+type t
+
+(** [create ~exe ~args ~header ~jobs] spawns [jobs] workers running
+    [exe args] with piped stdin/stdout (stderr inherited), writes
+    [header] to each and checks the header each sends back.  Raises
+    [Unix.Unix_error] when the executable cannot be spawned and
+    {!Pom_wire.Wire.Corrupt}/{!Pom_wire.Wire.Version_mismatch} when a
+    worker's greeting is wrong (the pool is torn down first). *)
+val create :
+  exe:string -> args:string list -> header:Pom_wire.Frame.header -> jobs:int -> t
+
+(** Number of live workers. *)
+val alive : t -> int
+
+(** Send one fire-and-forget record to every live worker (e.g. a shared
+    problem description all later requests refer to). *)
+val broadcast : t -> tag:int -> string -> unit
+
+(** [rpc t ~tag payloads] deals the payloads round-robin over the live
+    workers, one in flight per worker, and returns each item's reply
+    payload in input order — [None] for items lost to a dead worker or
+    answered with a different tag. *)
+val rpc : t -> tag:int -> string list -> string option list
+
+(** Close every worker's stdin (the workers see EOF and exit) and reap
+    them.  Idempotent. *)
+val shutdown : t -> unit
+
+(** Worker side: read the parent's header from stdin (checking it
+    matches [header]), answer with [header], then serve requests with
+    [handle ~tag payload] until EOF.  A [Some (tag', reply)] result is
+    written back; [None] sends nothing (fire-and-forget requests).
+    Returns the process exit code: 0 on clean EOF or a vanished parent,
+    2 on a protocol error. *)
+val serve :
+  header:Pom_wire.Frame.header ->
+  (tag:int -> string -> (int * string) option) ->
+  int

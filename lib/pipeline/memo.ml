@@ -235,13 +235,37 @@ let restore_report t ~key value =
   | _ -> Hashtbl.replace t.reports key (Done value));
   Mutex.unlock t.lock
 
+(* Merge an externally computed report (a worker process's reply): counts a
+   miss and fires the observer exactly as if this process had computed it —
+   so procs-mode prefetch journals its points and keeps the hit/miss
+   deltas deterministic — but a key already settled (or raced to Done by a
+   domain) is left alone without a count or a re-journal. *)
+let absorb_report t ~key value =
+  Mutex.lock t.lock;
+  let fresh =
+    match Hashtbl.find_opt t.reports key with
+    | Some (Done _) -> false
+    | _ ->
+        t.c.report_misses <- t.c.report_misses + 1;
+        guard_capacity t t.reports;
+        Hashtbl.replace t.reports key (Done value);
+        true
+  in
+  let obs = t.report_observer in
+  Mutex.unlock t.lock;
+  if fresh then match obs with Some f -> f ~key value | None -> ()
+
+(* The journal's record payload: the wire-encoded design point.  The codec
+   pair is the schema {!Pom_resilience.Checkpoint.version} covers. *)
+let journal_value = Pom_wire.Wire.pair Pom_polyir.Wirec.prog Pom_hls.Wirec.report
+
 (* The full journal protocol for one search: replay the intact records into
    the report memo, journal every genuinely computed point while [f] runs,
    and unhook/close no matter how [f] exits (in particular on a simulated
    kill — the journal's flushed prefix is exactly what resume replays).
-   A record that no longer unmarshals is dropped silently: the journal is a
-   cache of recomputable work, so losing a record costs a recomputation,
-   never correctness. *)
+   A record that no longer decodes is dropped as a cache miss (POM308) and
+   counted in the trace notes: the journal is a cache of recomputable
+   work, so losing a record costs a recomputation, never correctness. *)
 let with_journal t path f =
   match path with
   | None -> f []
@@ -255,31 +279,43 @@ let with_journal t path f =
                  (POM306)"
                 path m;
             ]
-      | j, records ->
+      | j, records, load_notes ->
           let replayed = ref 0 in
+          let dropped = ref 0 in
           List.iter
             (fun (key, data) ->
-              match
-                (Marshal.from_string data 0 : Pom_polyir.Prog.t * Report.t)
-              with
-              | v ->
+              match Pom_wire.Wire.of_string journal_value data with
+              | Ok v ->
                   restore_report t ~key v;
                   incr replayed
-              | exception _ -> ())
+              | Error _ -> incr dropped)
             records;
           set_report_observer t
             (Some
                (fun ~key value ->
                  Pom_resilience.Checkpoint.append j ~key
-                   ~data:(Marshal.to_string value [])));
+                   ~data:(Pom_wire.Wire.to_string journal_value value)));
           let notes =
-            if !replayed > 0 then
+            load_notes
+            @ (if !replayed > 0 then
+                 [
+                   Printf.sprintf
+                     "checkpoint: replayed %d design points from %s" !replayed
+                     path;
+                 ]
+               else
+                 [
+                   Printf.sprintf "checkpoint: journaling design points to %s"
+                     path;
+                 ])
+            @
+            if !dropped > 0 then
               [
-                Printf.sprintf "checkpoint: replayed %d design points from %s"
-                  !replayed path;
+                Printf.sprintf
+                  "checkpoint: dropped %d undecodable design points (POM308)"
+                  !dropped;
               ]
-            else
-              [ Printf.sprintf "checkpoint: journaling design points to %s" path ]
+            else []
           in
           Fun.protect
             ~finally:(fun () ->

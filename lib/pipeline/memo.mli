@@ -89,6 +89,13 @@ val set_report_observer :
 val restore_report :
   t -> key:string -> Pom_polyir.Prog.t * Pom_hls.Report.t -> unit
 
+(** Merge a design point computed outside this process (a worker's reply):
+    counts a report miss and fires the observer exactly like a local
+    computation — procs-mode prefetch journals through this — but is a
+    silent no-op when [key] is already settled. *)
+val absorb_report :
+  t -> key:string -> Pom_polyir.Prog.t * Pom_hls.Report.t -> unit
+
 (** [with_journal t (Some path) f]: open the checkpoint journal at [path],
     replay its intact design points into the report memo, journal every
     genuinely computed point while [f] runs, and unhook/close however [f]

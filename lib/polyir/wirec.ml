@@ -1,0 +1,36 @@
+module W = Pom_wire.Wire
+module Pw = Pom_poly.Wirec
+module Dw = Pom_dsl.Wirec
+
+let hw =
+  W.record2 "hw"
+    (W.field "pipeline"
+       (W.option (W.pair W.string W.int))
+       (fun (h : Stmt_poly.hw) -> h.pipeline))
+    (W.field "unrolls"
+       (W.list (W.pair W.string W.int))
+       (fun (h : Stmt_poly.hw) -> h.unrolls))
+    (fun pipeline unrolls -> { Stmt_poly.pipeline; unrolls })
+
+let stmt_poly =
+  W.with_pp Stmt_poly.pp
+  @@ W.record5 "stmt_poly"
+       (W.field "compute" Dw.compute (fun (s : Stmt_poly.t) -> s.compute))
+       (W.field "domain" Pw.basic_set (fun (s : Stmt_poly.t) -> s.domain))
+       (W.field "index_map"
+          (W.list (W.pair W.string Pw.linexpr))
+          (fun (s : Stmt_poly.t) -> s.index_map))
+       (W.field "sched" Pw.sched (fun (s : Stmt_poly.t) -> s.sched))
+       (W.field "hw" hw (fun (s : Stmt_poly.t) -> s.hw))
+       (fun compute domain index_map sched hw ->
+         { Stmt_poly.compute; domain; index_map; sched; hw })
+
+let prog =
+  W.with_pp Prog.pp
+  @@ W.record3 "prog"
+       (W.field "func" Dw.func (fun (p : Prog.t) -> p.func))
+       (W.field "stmts" (W.list stmt_poly) (fun (p : Prog.t) -> p.stmts))
+       (W.field "partitions"
+          (W.list (W.pair W.string (W.pair (W.list W.int) Dw.partition_kind)))
+          (fun (p : Prog.t) -> p.partitions))
+       (fun func stmts partitions -> { Prog.func; stmts; partitions })

@@ -1,0 +1,8 @@
+(** Wire codecs for the polyhedral IR: hardware attributes, statements,
+    and whole scheduled programs.  A journaled [Prog.t] round-trips with
+    identical domains, schedules, index maps and partitions, so a
+    replayed design point is the design point that was evaluated. *)
+
+val hw : Stmt_poly.hw Pom_wire.Wire.t
+val stmt_poly : Stmt_poly.t Pom_wire.Wire.t
+val prog : Prog.t Pom_wire.Wire.t

@@ -1,52 +1,114 @@
+module Wire = Pom_wire.Wire
+module Frame = Pom_wire.Frame
+
 type t = { path : string; oc : out_channel; lock : Mutex.t }
 
-let magic = "POMJRNL1\n"
+let kind = "pom-dse-journal"
+let version = 2
+let record_tag = 1
+let record_codec = Wire.pair Wire.string Wire.string
 
-(* Read every intact record; returns them with the byte offset one past the
-   last intact record, so a torn tail can be truncated away. *)
+(* Read every intact record; returns them with the byte offset one past
+   the last intact record (so a torn or corrupt tail can be truncated
+   away) and notes describing anything dropped on the way. *)
 let read_records ic =
   let records = ref [] in
+  let notes = ref [] in
   let good = ref (pos_in ic) in
-  (try
-     while true do
-       let (key, data) : string * string = Marshal.from_channel ic in
-       records := (key, data) :: !records;
-       good := pos_in ic
-     done
-   with End_of_file | Failure _ -> ());
-  (List.rev !records, !good)
+  let rec go () =
+    match Frame.input_record ~what:"checkpoint" ic with
+    | None -> ()
+    | Some (tag, payload) when tag = record_tag -> (
+        match Wire.of_string record_codec payload with
+        | Ok kv ->
+            records := kv :: !records;
+            good := pos_in ic;
+            go ()
+        | Error _ ->
+            (* CRC-intact but undecodable: written by a buggy or newer
+               same-version writer.  Cut here like a torn tail. *)
+            notes :=
+              "checkpoint: undecodable record ends the intact prefix \
+               (POM308)" :: !notes)
+    | Some _ ->
+        (* unknown record tag from a newer writer: skip, keep *)
+        good := pos_in ic;
+        go ()
+  in
+  (try go () with Wire.Corrupt _ -> ());
+  (List.rev !records, !good, List.rev !notes)
+
+type verdict =
+  | Intact of (string * string) list * int * string list
+  | Restart of string option  (* note, when an old file is discarded *)
+
+let examine path =
+  if not (Sys.file_exists path) then Restart None
+  else begin
+    let ic = open_in_bin path in
+    let verdict =
+      match Frame.input_header ~what:"checkpoint" ic with
+      | exception Wire.Corrupt _ ->
+          Restart (Some "checkpoint: unrecognized journal header; restarting empty (POM306)")
+      | exception Wire.Version_mismatch { expected; got; _ } ->
+          Restart
+            (Some
+               (Printf.sprintf
+                  "checkpoint: journal framing version %d (expected %d); restarting empty (POM309)"
+                  got expected))
+      | h when h.Frame.kind <> kind ->
+          Restart
+            (Some
+               (Printf.sprintf
+                  "checkpoint: stream kind %S is not %S; restarting empty (POM306)"
+                  h.Frame.kind kind))
+      | h when h.Frame.version <> version ->
+          Restart
+            (Some
+               (Printf.sprintf
+                  "checkpoint: journal schema version %d (expected %d); restarting empty (POM309)"
+                  h.Frame.version version))
+      | _ ->
+          let records, good, notes = read_records ic in
+          Intact (records, good, notes)
+    in
+    close_in ic;
+    verdict
+  end
 
 let load path =
-  let records, tail_ok =
-    if Sys.file_exists path then begin
-      let ic = open_in_bin path in
-      let header = really_input_string ic (min (String.length magic) (in_channel_length ic)) in
-      if header <> magic then begin
-        close_in ic;
-        ([], None)  (* unrecognized: restart empty *)
-      end
-      else begin
-        let records, good = read_records ic in
-        close_in ic;
-        (records, Some good)
-      end
-    end
-    else ([], None)
+  let records, notes =
+    match examine path with
+    | Intact (records, good, notes) ->
+        let size = (Unix.stat path).Unix.st_size in
+        let notes =
+          if good < size then begin
+            (* torn tail from a crash mid-append: cut back to the intact
+               prefix *)
+            Unix.truncate path good;
+            notes
+            @ [
+                Printf.sprintf
+                  "checkpoint: truncated %d-byte torn tail (POM306)"
+                  (size - good);
+              ]
+          end
+          else notes
+        in
+        (records, notes)
+    | Restart note ->
+        let oc = open_out_bin path in
+        Frame.output_header oc { Frame.kind; version };
+        close_out oc;
+        ([], Option.to_list note)
   in
-  (match tail_ok with
-  | Some good ->
-      (* torn tail from a crash mid-append: cut back to the intact prefix *)
-      if good < (Unix.stat path).Unix.st_size then Unix.truncate path good
-  | None ->
-      let oc = open_out_bin path in
-      output_string oc magic;
-      close_out oc);
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
-  ({ path; oc; lock = Mutex.create () }, records)
+  ({ path; oc; lock = Mutex.create () }, records, notes)
 
 let append t ~key ~data =
   Mutex.lock t.lock;
-  Marshal.to_channel t.oc (key, data) [];
+  Frame.output_record t.oc ~tag:record_tag
+    (Wire.to_string record_codec (key, data));
   flush t.oc;
   Mutex.unlock t.lock
 

@@ -1,23 +1,38 @@
 (** A crash-safe append-only journal of keyed records.
 
     The DSE searches journal every design point they evaluate ([key] = the
-    report-memo key, [data] = the marshalled evaluation); a process killed
-    mid-search loses at most the record being written.  On reopen, the
-    journal replays every intact record and truncates a torn tail (the
+    report-memo key, [data] = the wire-encoded evaluation); a process
+    killed mid-search loses at most the record being written.  On reopen,
+    the journal replays every intact record and truncates a torn tail (the
     partial record a crash can leave), so resuming appends from a
     consistent prefix.
 
-    The file starts with a versioned magic header; a file with the wrong
-    header (corrupt, or a different format) is restarted empty rather than
-    trusted — the journal is a cache of recomputable work, so dropping it
-    degrades to recomputation, never to a wrong result. *)
+    The file is a {!Pom_wire.Frame} stream: magic + framing version, a
+    [kind]/[schema version] header, then CRC-checked tag/length records.
+    A file with the wrong magic or kind, or a different schema version, is
+    restarted empty rather than trusted (surfaced as a POM309-worded
+    note); a record with a CRC mismatch ends the intact prefix exactly
+    like a torn tail (POM306/POM308 territory).  Records with unknown
+    tags are skipped but preserved — a newer writer's extra record types
+    do not invalidate the journal.  The journal is a cache of
+    recomputable work, so every degradation path drops data and
+    recomputes, never crashes and never yields a wrong result. *)
 
 type t
 
-(** [load path] opens (creating if needed) the journal and returns it with
-    the intact records, oldest first.  A torn trailing record is truncated
-    away; an unrecognized header restarts the file empty. *)
-val load : string -> t * (string * string) list
+(** The stream kind written in the header. *)
+val kind : string
+
+(** The schema version of the record payload codecs.  Bump when the
+    journal payload encoding changes incompatibly. *)
+val version : int
+
+(** [load path] opens (creating if needed) the journal and returns it
+    with the intact records, oldest first, plus human-readable notes
+    describing any degradation applied (torn tail truncated, version
+    mismatch restart, corrupt record cut).  An empty note list means the
+    file was pristine. *)
+val load : string -> t * (string * string) list * string list
 
 (** Append one record and flush it to the OS.  Thread-safe. *)
 val append : t -> key:string -> data:string -> unit

@@ -23,6 +23,13 @@ let of_exn ~code ?pass = function
   | Error e -> { e with pass = (match e.pass with Some _ as p -> p | None -> pass) }
   | Fault.Injected site ->
       make ~code ?pass ~context:[ site ] "injected failure"
+  | Pom_wire.Wire.Corrupt { what; detail } ->
+      make ~code:"POM308" ?pass ~context:[ what ]
+        (Printf.sprintf "corrupt wire data: %s" detail)
+  | Pom_wire.Wire.Version_mismatch { what; expected; got } ->
+      make ~code:"POM309" ?pass ~context:[ what ]
+        (Printf.sprintf "wire format version mismatch: expected %d, got %d"
+           expected got)
   | Failure m -> make ~code ?pass m
   | exn -> make ~code ?pass (Printexc.to_string exn)
 

@@ -15,7 +15,10 @@
     - [POM304] DSE candidate evaluation failed — candidate skipped
     - [POM305] pool worker died — task failed with this typed error
     - [POM306] checkpoint journal unreadable — search restarted fresh
-    - [POM307] front-end parse error *)
+    - [POM307] front-end parse error
+    - [POM308] corrupt wire data — artifact dropped (cache miss), never trusted
+    - [POM309] wire format version mismatch — artifact from another
+      format generation, discarded cleanly *)
 
 type t = {
   code : string;  (** stable identifier, e.g. ["POM301"] *)
@@ -36,8 +39,9 @@ val raise_ : code:string -> ?pass:string -> ?context:string list -> string -> 'a
 val with_context : string -> (unit -> 'a) -> 'a
 
 (** Build a typed error from an arbitrary exception.  A {!Budget.Budget_exceeded}
-    maps to [POM301] (keeping its site in the context); anything else keeps
-    the given [code]. *)
+    maps to [POM301], a {!Pom_wire.Wire.Corrupt} to [POM308], a
+    {!Pom_wire.Wire.Version_mismatch} to [POM309] (each keeping its site
+    in the context); anything else keeps the given [code]. *)
 val of_exn : code:string -> ?pass:string -> exn -> t
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s 0 (String.length s)

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected, table-driven).
+
+    Used by {!Frame} to checksum every framed record so a torn or
+    bit-flipped journal entry is detected instead of decoded into
+    garbage.  Values fit in a non-negative OCaml [int] (32 bits). *)
+
+(** CRC of a whole string. *)
+val string : string -> int
+
+(** [update crc s pos len] extends [crc] with [len] bytes of [s] starting
+    at [pos].  [string s = update 0 s 0 (String.length s)]. *)
+val update : int -> string -> int -> int -> int

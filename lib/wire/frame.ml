@@ -1,0 +1,122 @@
+let magic = "POMW"
+let format_version = 1
+
+type header = { kind : string; version : int }
+
+(* Cap a record's payload well below anything the pipeline produces so a
+   corrupt length cannot make a reader allocate gigabytes. *)
+let max_payload = 256 * 1024 * 1024
+
+let add_record buf ~tag payload =
+  if tag < 0 then invalid_arg "Frame.add_record: negative tag";
+  if String.length payload > max_payload then
+    invalid_arg "Frame.add_record: payload too large";
+  let body = Buffer.create (String.length payload + 10) in
+  Wire.write_uvarint body tag;
+  Wire.write_uvarint body (String.length payload);
+  Buffer.add_string body payload;
+  let body = Buffer.contents body in
+  Buffer.add_string buf body;
+  let crc = Crc32.string body in
+  Buffer.add_char buf (Char.chr (crc land 0xff));
+  Buffer.add_char buf (Char.chr ((crc lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((crc lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((crc lsr 24) land 0xff))
+
+let header_to_string h =
+  let b = Buffer.create 32 in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr format_version);
+  Wire.encode Wire.string b h.kind;
+  Wire.write_uvarint b h.version;
+  Buffer.contents b
+
+let output_header oc h = output_string oc (header_to_string h)
+
+let output_record oc ~tag payload =
+  let b = Buffer.create (String.length payload + 16) in
+  add_record b ~tag payload;
+  output_string oc (Buffer.contents b)
+
+let corrupt what fmt =
+  Printf.ksprintf (fun detail -> raise (Wire.Corrupt { what; detail })) fmt
+
+let input_header ~what ic =
+  let read_exactly n =
+    try really_input_string ic n
+    with End_of_file -> corrupt what "truncated header"
+  in
+  let m = read_exactly (String.length magic) in
+  if m <> magic then corrupt what "bad magic %S" m;
+  let fv = Char.code (read_exactly 1).[0] in
+  if fv <> format_version then
+    raise
+      (Wire.Version_mismatch { what; expected = format_version; got = fv });
+  (* kind: varint length + bytes; schema version: varint *)
+  let read_uvarint () =
+    let rec go acc shift =
+      if shift > 63 then corrupt what "header varint too long";
+      let b = try input_byte ic with End_of_file -> corrupt what "truncated header" in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go acc (shift + 7)
+    in
+    go 0 0
+  in
+  let klen = read_uvarint () in
+  if klen < 0 || klen > 4096 then corrupt what "unreasonable kind length %d" klen;
+  let kind = read_exactly klen in
+  let version = read_uvarint () in
+  { kind; version }
+
+(* Record reads accumulate the exact bytes of tag+len as they stream in,
+   so the CRC covers what was actually on the wire (no re-encoding). *)
+let input_record ~what ic =
+  match input_byte ic with
+  | exception End_of_file -> None
+  | b0 ->
+      let torn () = corrupt what "torn record" in
+      let raw = Buffer.create 16 in
+      let next_byte () =
+        match input_byte ic with
+        | exception End_of_file -> torn ()
+        | b ->
+            Buffer.add_char raw (Char.chr b);
+            b
+      in
+      Buffer.add_char raw (Char.chr b0);
+      let read_uvarint first =
+        let rec go acc shift first =
+          if shift > 63 then corrupt what "record varint too long";
+          let b = match first with Some b -> b | None -> next_byte () in
+          let acc = acc lor ((b land 0x7f) lsl shift) in
+          if b land 0x80 = 0 then acc else go acc (shift + 7) None
+        in
+        go 0 0 first
+      in
+      let tag = read_uvarint (Some b0) in
+      let len = read_uvarint None in
+      if len < 0 || len > max_payload then
+        corrupt what "unreasonable record length %d" len;
+      let payload =
+        try really_input_string ic len with End_of_file -> torn ()
+      in
+      let stored_crc =
+        let b i =
+          match input_byte ic with
+          | exception End_of_file -> torn ()
+          | v -> v lsl (8 * i)
+        in
+        let c0 = b 0 in
+        let c1 = b 1 in
+        let c2 = b 2 in
+        let c3 = b 3 in
+        c0 lor c1 lor c2 lor c3
+      in
+      let crc =
+        Crc32.update (Crc32.string (Buffer.contents raw)) payload 0
+          (String.length payload)
+      in
+      if crc <> stored_crc then
+        corrupt what "CRC mismatch on record tag %d (stored %08x, computed %08x)"
+          tag stored_crc crc;
+      Some (tag, payload)

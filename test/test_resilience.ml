@@ -85,34 +85,36 @@ let test_fault_kinds () =
 let test_checkpoint_roundtrip () =
   let path = Filename.temp_file "pom_ckpt" ".jrnl" in
   Sys.remove path;
-  let j, recs = R.Checkpoint.load path in
+  let j, recs, _ = R.Checkpoint.load path in
   Alcotest.(check int) "fresh journal empty" 0 (List.length recs);
   R.Checkpoint.append j ~key:"k1" ~data:"d1";
   R.Checkpoint.append j ~key:"k2" ~data:"d2";
   R.Checkpoint.close j;
-  let j2, recs2 = R.Checkpoint.load path in
+  let j2, recs2, notes2 = R.Checkpoint.load path in
   R.Checkpoint.close j2;
   Alcotest.(check (list (pair string string)))
     "records replay in order"
     [ ("k1", "d1"); ("k2", "d2") ]
     recs2;
+  Alcotest.(check (list string)) "clean reload carries no notes" [] notes2;
   (* a crash mid-append leaves a torn tail: it must be truncated away and
      the journal must keep accepting appends afterwards *)
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
   output_string oc "torn";
   close_out oc;
-  let j3, recs3 = R.Checkpoint.load path in
+  let j3, recs3, notes3 = R.Checkpoint.load path in
   Alcotest.(check int) "torn tail dropped" 2 (List.length recs3);
+  Alcotest.(check bool) "truncation is reported" true (notes3 <> []);
   R.Checkpoint.append j3 ~key:"k3" ~data:"d3";
   R.Checkpoint.close j3;
-  let j4, recs4 = R.Checkpoint.load path in
+  let j4, recs4, _ = R.Checkpoint.load path in
   R.Checkpoint.close j4;
   Alcotest.(check int) "extends cleanly after recovery" 3 (List.length recs4);
   (* an unrecognized header is restarted empty, not trusted *)
   let oc = open_out_bin path in
   output_string oc "NOTAJRNL\nwhatever";
   close_out oc;
-  let j5, recs5 = R.Checkpoint.load path in
+  let j5, recs5, _ = R.Checkpoint.load path in
   R.Checkpoint.close j5;
   Alcotest.(check int) "bad magic restarts empty" 0 (List.length recs5);
   Sys.remove path
