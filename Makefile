@@ -2,7 +2,7 @@
 # formatting-clean, full build, full test suite, then one instrumented
 # end-to-end compile per framework.
 
-.PHONY: all build test fmt fmt-check smoke check clean
+.PHONY: all build test fmt fmt-check smoke fuzz check clean
 
 all: build
 
@@ -31,6 +31,19 @@ smoke: build
 	dune exec bin/pom_compile.exe -- -w 2mm     -s $(SMOKE_SIZE) -f scalehls   --timing
 	dune exec bin/pom_compile.exe -- -w bicg    -s $(SMOKE_SIZE) -f pom-manual --timing
 	dune exec bin/pom_compile.exe -- -w gemm    -s $(SMOKE_SIZE) -f pom        --timing --trace
+
+# Property-based refutation: replay the committed counterexample corpus,
+# then search fresh cases in all three oracle families under a wall-clock
+# budget.  Exit 2 = counterexample found; the shrunk repro is saved into
+# $(FUZZ_CORPUS) ready to commit as a regression test.
+FUZZ_SECONDS := 60
+FUZZ_CASES := 100000
+FUZZ_SEED := 0
+FUZZ_CORPUS := test/refute-corpus
+fuzz: build
+	dune exec bin/pom_refute.exe -- \
+	  --seed $(FUZZ_SEED) --cases $(FUZZ_CASES) --budget $(FUZZ_SECONDS) \
+	  --corpus $(FUZZ_CORPUS)
 
 check: fmt-check build test smoke
 

@@ -31,6 +31,7 @@ let experiments =
     ("ablation", Bench_ablation.run);
     ("generality", Bench_generality.run);
     ("devices", Bench_devices.run);
+    ("refute", Bench_refute.run);
   ]
 
 (* one bechamel Test per table/figure, timing the dominant toolchain path

@@ -6,7 +6,11 @@
     uniformly, and tests can assert on codes instead of message text.
 
     Code ranges: [POM1xx] IR well-formedness (verifier), [POM2xx] HLS
-    directive lint. *)
+    directive lint, [POM3xx] resilience (budgets, degradation — see
+    {!Pom_resilience.Error}), [POM4xx] refutation counterexamples
+    ([POM401] polyhedral oracle mismatch, [POM402] legality soundness,
+    [POM403] accepted-schedule crash, [POM404] degradation contract,
+    [POM405] precision-miss hint). *)
 
 type severity = Error | Warning | Hint
 

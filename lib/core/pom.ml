@@ -14,6 +14,7 @@ module Cfront = Pom_cfront
 module Pipeline = Pom_pipeline
 module Analysis = Pom_analysis
 module Resilience = Pom_resilience
+module Refute = Pom_refute
 
 open Pom_pipeline
 

@@ -45,6 +45,13 @@ module Analysis = Pom_analysis
     {!Resilience.Fault}). *)
 module Resilience = Pom_resilience
 
+(** Property-based refutation of the trust anchors: differential oracles
+    for polyhedral projection, legality-vs-execution, and the degradation
+    contract, with shrinking and a replayable counterexample corpus
+    ({!Refute.Gen}, {!Refute.Oracle}, {!Refute.Engine},
+    {!Refute.Corpus}). *)
+module Refute = Pom_refute
+
 (** Which optimization flow to run. *)
 type framework =
   [ `Baseline  (** the input program, unoptimized *)

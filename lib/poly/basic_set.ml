@@ -151,7 +151,10 @@ let fm_site = "poly:fm-projection"
    would otherwise grow quadratically across successive eliminations. *)
 let project_out d s =
   if not (List.mem d s.dims) then s
-  else
+  else (
+    (* injection hook for the degradation refuter: a fault armed here must
+       degrade exactly like a genuine projection blow-up *)
+    Pom_resilience.Fault.point fm_site;
     let remaining_dims = List.filter (fun x -> x <> d) s.dims in
     let unit_eq =
       List.find_opt
@@ -237,7 +240,7 @@ let project_out d s =
           dims = remaining_dims;
           constrs = compact (combined @ !rest);
           simplified = true;
-        }
+        })
 
 let project_onto keep s =
   let to_drop = List.filter (fun d -> not (List.mem d keep)) s.dims in

@@ -112,6 +112,7 @@ let violations ~original ~transformed =
             big statement set stops at a pair boundary, and the guard layer
             maps the timeout to "reject the transform" (POM302) *)
          Pom_resilience.Budget.check "legality:pair";
+         Pom_resilience.Fault.point "legality:pair";
          let accesses =
            List.map (fun r -> (a.write, r, `Raw)) b.reads
            @ List.map (fun r -> (r, b.write, `War)) a.reads

@@ -1,0 +1,56 @@
+(** Refutation cases: the self-contained inputs the refuter throws at the
+    compiler's trust anchors.  A case carries everything needed to replay
+    the check that found it — a bounded integer set for the polyhedral
+    oracle, or a whole DSL function (computes plus recorded directives)
+    for the semantic and degradation oracles — and serializes through
+    {!Pom_wire.Wire} so every counterexample the engine ever shrinks can
+    be committed to [test/refute-corpus/] and replayed as a regression
+    test. *)
+
+(** A bounded integer set: every dimension boxed into [lo, hi]
+    (inclusive), plus arbitrary extra affine constraints.  The box makes
+    brute-force point enumeration — the oracle's ground truth — finite
+    by construction. *)
+type poly = private {
+  dims : string list;
+  lo : int;
+  hi : int;
+  extra : Pom_poly.Constr.t list;
+}
+
+(** [make_poly ~dims ~lo ~hi extra] validates the case: 1-4 distinct
+    dimensions, [lo <= hi], a box no wider than {!max_width} (so corpus
+    replay cannot be DoS'd by a huge enumeration), and every extra
+    constraint mentioning only listed dimensions.  Raises
+    [Invalid_argument] otherwise — including from the wire decoder, where
+    it surfaces as typed corrupt data. *)
+val make_poly :
+  dims:string list -> lo:int -> hi:int -> Pom_poly.Constr.t list -> poly
+
+val max_width : int
+
+(** The basic set a poly case denotes: box constraints plus extras. *)
+val set_of_poly : poly -> Pom_poly.Basic_set.t
+
+(** All points of the bounding box, in lexicographic dimension order, as
+    assignments aligned with [dims]. *)
+val box_points : poly -> int list list
+
+type t =
+  | Poly of poly
+  | Semantic of Pom_dsl.Func.t
+      (** cross-check legality verdicts against observed execution *)
+  | Degrade of Pom_dsl.Func.t
+      (** replay the legality search under budgets and injected faults *)
+
+val family : t -> string
+
+val codec : t Pom_wire.Wire.t
+
+(** Stable identifier for filenames: family plus a CRC-32 of the wire
+    encoding, e.g. ["poly-1a2b3c4d"]. *)
+val id : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

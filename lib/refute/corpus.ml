@@ -1,0 +1,50 @@
+module W = Pom_wire.Wire
+module Frame = Pom_wire.Frame
+
+let kind = "pom-refute-case"
+
+let version = 1
+
+let tag_case = 1
+
+let save dir case =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (Case.id case ^ ".case") in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Frame.output_header oc { Frame.kind; version };
+      Frame.output_record oc ~tag:tag_case (W.to_string Case.codec case));
+  path
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let h = Frame.input_header ~what:path ic in
+      if h.Frame.kind <> kind then
+        raise (W.Corrupt { what = path; detail = "not a refute case file" });
+      if h.Frame.version > version then
+        raise
+          (W.Version_mismatch
+             { what = path; expected = version; got = h.Frame.version });
+      let rec find () =
+        match Frame.input_record ~what:path ic with
+        | None -> raise (W.Corrupt { what = path; detail = "no case record" })
+        | Some (tag, payload) when tag = tag_case ->
+            W.of_string_exn Case.codec payload
+        | Some _ -> find () (* a newer writer's metadata record: skip *)
+      in
+      find ())
+
+let load_all dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))

@@ -1,0 +1,25 @@
+(** The counterexample corpus: every shrunk counterexample the engine ever
+    found, persisted as one [<family>-<crc>.case] file per case under a
+    corpus directory (the repo commits [test/refute-corpus/]).
+
+    A [.case] file is a {!Pom_wire.Frame} stream of kind ["pom-refute-case"]:
+    a header plus a single tag-1 record holding the {!Case.codec} encoding.
+    Unknown record tags are skipped on read (a newer writer may attach
+    metadata records), and torn or bit-flipped files surface as
+    {!Pom_wire.Wire.Corrupt} — never a crash. *)
+
+val kind : string
+
+val version : int
+
+(** [save dir case] writes [dir/<Case.id case>.case] (creating [dir] if
+    missing) and returns the path written. *)
+val save : string -> Case.t -> string
+
+(** [load path] reads one case. Raises {!Pom_wire.Wire.Corrupt} on damage,
+    {!Pom_wire.Wire.Version_mismatch} on a future schema. *)
+val load : string -> Case.t
+
+(** All cases of [dir] ([*.case], sorted by filename for determinism), as
+    [(path, case)] pairs. A missing directory is an empty corpus. *)
+val load_all : string -> (string * Case.t) list

@@ -1,0 +1,119 @@
+module Budget = Pom_resilience.Budget
+
+type family = [ `Poly | `Semantic | `Degrade ]
+
+let family_name = function
+  | `Poly -> "poly"
+  | `Semantic -> "semantic"
+  | `Degrade -> "degrade"
+
+let family_of_string = function
+  | "poly" -> Ok `Poly
+  | "semantic" -> Ok `Semantic
+  | "degrade" -> Ok `Degrade
+  | s -> Error (Printf.sprintf "unknown family %S (poly|semantic|degrade)" s)
+
+let all_families = [ `Poly; `Semantic; `Degrade ]
+
+type finding = {
+  case : Case.t;
+  diag : Pom_analysis.Diagnostic.t;
+  shrink_steps : int;
+}
+
+type stats = {
+  family : family;
+  cases : int;
+  passed : int;
+  skipped : int;
+  precision_misses : int;
+  findings : finding list;
+  exhausted : bool;
+  elapsed_s : float;
+}
+
+(* a budget expiry inside a check is not a verdict on the case *)
+let check_budgeted case =
+  try Oracle.check case
+  with Budget.Budget_exceeded { site; _ } ->
+    Oracle.Skip (Printf.sprintf "budget expired at %s" site)
+
+let shrink ?(max_steps = 200) case diag =
+  let rec go case diag steps =
+    if steps >= max_steps then (case, diag, steps)
+    else
+      let next =
+        List.find_map
+          (fun candidate ->
+            match check_budgeted candidate with
+            | Oracle.Fail d -> Some (candidate, d)
+            | _ -> None)
+          (Gen.shrink_case case)
+      in
+      match next with
+      | Some (candidate, d) -> go candidate d (steps + 1)
+      | None -> (case, diag, steps)
+  in
+  go case diag 0
+
+let generator = function
+  | `Poly -> QCheck.Gen.map (fun p -> Case.Poly p) (Gen.poly ())
+  | `Semantic -> QCheck.Gen.map (fun f -> Case.Semantic f) (Gen.func ())
+  | `Degrade ->
+      (* degradation cases want schedules that actually apply, so keep the
+         directive surface identical to the semantic family *)
+      QCheck.Gen.map (fun f -> Case.Degrade f) (Gen.func ())
+
+let run ?(seed = 0) ?(cases = 1000) ?(on_finding = fun _ -> ()) family =
+  let t0 = Unix.gettimeofday () in
+  let rand = Random.State.make [| seed; 0x7e57 |] in
+  let gen = generator family in
+  let passed = ref 0
+  and skipped = ref 0
+  and precision = ref 0
+  and findings = ref []
+  and ran = ref 0
+  and exhausted = ref false in
+  (try
+     for _ = 1 to cases do
+       (* stop promptly once a deadline passes: every later case would
+          only skip on the same expired budget *)
+       Budget.check "refute:engine";
+       let case = QCheck.Gen.generate1 ~rand gen in
+       incr ran;
+       match check_budgeted case with
+       | Oracle.Pass -> incr passed
+       | Oracle.Skip _ -> incr skipped
+       | Oracle.Precision _ -> incr precision
+       | Oracle.Fail diag ->
+           let case, diag, shrink_steps = shrink case diag in
+           let f = { case; diag; shrink_steps } in
+           findings := f :: !findings;
+           on_finding f
+     done
+   with Budget.Budget_exceeded _ -> exhausted := true);
+  {
+    family;
+    cases = !ran;
+    passed = !passed;
+    skipped = !skipped;
+    precision_misses = !precision;
+    findings = List.rev !findings;
+    exhausted = !exhausted;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let replay dir =
+  List.map
+    (fun (path, case) -> (path, case, check_budgeted case))
+    (Corpus.load_all dir)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>%s: %d cases in %.2fs (%.0f/s)%s@,\
+     \  %d passed, %d skipped, %d precision misses, %d counterexamples@]"
+    (family_name s.family) s.cases s.elapsed_s
+    (if s.elapsed_s > 0. then float_of_int s.cases /. s.elapsed_s else 0.)
+    (if s.exhausted then " [budget exhausted]" else "")
+    s.passed s.skipped s.precision_misses
+    (List.length s.findings)

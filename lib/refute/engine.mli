@@ -1,0 +1,62 @@
+(** The refutation search loop: generate cases, run the family's oracle,
+    greedily shrink whatever fails, and report.
+
+    The engine is deterministic given a seed, and cooperative under the
+    ambient {!Pom_resilience.Budget}: a deadline or tick cap installed by
+    the driver stops the search cleanly mid-stream ([exhausted] is set,
+    the statistics cover the cases actually run, and counterexamples found
+    before expiry are kept). *)
+
+type family = [ `Poly | `Semantic | `Degrade ]
+
+val family_of_string : string -> (family, string) result
+
+val family_name : family -> string
+
+val all_families : family list
+
+type finding = {
+  case : Case.t;  (** shrunk to a local minimum *)
+  diag : Pom_analysis.Diagnostic.t;  (** from the shrunk case's re-check *)
+  shrink_steps : int;
+}
+
+type stats = {
+  family : family;
+  cases : int;  (** cases actually generated and checked *)
+  passed : int;
+  skipped : int;
+  precision_misses : int;
+  findings : finding list;
+  exhausted : bool;  (** the ambient budget expired mid-search *)
+  elapsed_s : float;
+}
+
+(** Greedy shrink: repeatedly move to the first strictly-smaller candidate
+    that still fails, up to [max_steps] (default 200) moves.  Candidates
+    whose check skips or passes are not taken — a lossy rebuild can never
+    invent a counterexample.  Returns the final case, its diagnostic, and
+    the number of moves taken. *)
+val shrink :
+  ?max_steps:int ->
+  Case.t ->
+  Pom_analysis.Diagnostic.t ->
+  Case.t * Pom_analysis.Diagnostic.t * int
+
+(** [run ?seed ?cases family] generates and checks [cases] inputs (default
+    1000) from [seed] (default 0).  [on_finding] fires with each shrunk
+    counterexample as it is found (the driver saves them to the corpus
+    immediately, so a later crash loses nothing). *)
+val run :
+  ?seed:int ->
+  ?cases:int ->
+  ?on_finding:(finding -> unit) ->
+  family ->
+  stats
+
+(** Replay every corpus case through its oracle.  Returns
+    [(path, case, verdict)] per case; a verdict other than
+    [Pass]/[Precision]/[Skip] means a regression resurfaced. *)
+val replay : string -> (string * Case.t * Oracle.verdict) list
+
+val pp_stats : Format.formatter -> stats -> unit

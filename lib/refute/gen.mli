@@ -1,0 +1,52 @@
+(** Random case generators and shrinkers for the refutation engine.
+
+    One shared home for the ad-hoc random-set generators that used to be
+    duplicated across [test/test_basic_set.ml] and [test/test_feasible.ml],
+    plus generators for whole DSL loop nests with random directive sets.
+    Generators are plain [QCheck.Gen.t] values (deterministic given a
+    [Random.State.t]); shrinkers return strictly-smaller candidate lists
+    the engine greedily descends while a case keeps failing. *)
+
+(** Bounded random integer sets.  [max_dims] caps the dimension count
+    (default 3); [extra] caps the number of non-box constraints (default
+    4); [coeff]/[konst] bound the constraint coefficients and constants
+    (defaults 3 and 6).  Roughly one in five extra constraints is an
+    equality, exercising the GCD/divisibility paths. *)
+val poly :
+  ?max_dims:int ->
+  ?extra:int ->
+  ?coeff:int ->
+  ?konst:int ->
+  unit ->
+  Case.poly QCheck.Gen.t
+
+(** Shrink candidates: drop an extra constraint, shrink a coefficient or
+    constant toward zero, narrow the box, drop the last dimension. *)
+val shrink_poly : Case.poly -> Case.poly list
+
+(** [poly] packaged with printer and shrinker for [QCheck.Test.make]. *)
+val arb_poly :
+  ?max_dims:int ->
+  ?extra:int ->
+  ?coeff:int ->
+  ?konst:int ->
+  unit ->
+  Case.poly QCheck.arbitrary
+
+(** Random small loop nests: 1-3 computes over rank-2 arrays [A]/[B]/[C]
+    (shape {!shape_n} x {!shape_n}), 1-3 iterators each (extents 2-4),
+    affine accesses [iter + offset], occasional triangular guards and
+    accumulation bodies, plus 0-3 random directives (interchange, split,
+    tile, skew, reverse, pipeline, unroll, partition, level-1 after/fuse)
+    whose dimension names track the renames earlier directives introduce,
+    so most generated schedules actually apply. *)
+val func : unit -> Pom_dsl.Func.t QCheck.Gen.t
+
+val shape_n : int
+
+(** Shrink candidates: drop a directive, drop a compute, shrink an
+    iterator extent, replace the body by one of its operands. *)
+val shrink_func : Pom_dsl.Func.t -> Pom_dsl.Func.t list
+
+(** Shrinker dispatching on the case family. *)
+val shrink_case : Case.t -> Case.t list

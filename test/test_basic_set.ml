@@ -151,33 +151,91 @@ let test_bounds_of () =
   Alcotest.(check int) "lower coef" 1 cl;
   Alcotest.(check string) "lower expr" "2" (Linexpr.to_string el)
 
+(* the random bounded sets come from the refutation engine's shared
+   generator (Pom.Refute.Gen) — the same distribution the fuzzing driver
+   uses, with its shrinker, instead of a private ad-hoc generator *)
+module Rcase = Pom_refute.Case
+
 let prop_projection_is_shadow =
-  (* every point of the set maps into the projection *)
-  QCheck.Test.make ~name:"projection contains all shadows" ~count:100
-    QCheck.(
-      quad (int_range (-3) 3) (int_range (-3) 3) (int_range (-3) 3)
-        (int_range 0 6))
-    (fun (a, b, cst, w) ->
-      let s =
-        Basic_set.make [ "i"; "j" ]
-          [
-            Constr.ge (v "i") (c 0);
-            Constr.le (v "i") (c w);
-            Constr.ge (v "j") (c 0);
-            Constr.le (v "j") (c w);
-            Constr.ge
-              (Linexpr.add (Linexpr.term a "i") (Linexpr.term b "j"))
-              (c cst);
-          ]
-      in
-      let p = Basic_set.project_out "j" s in
+  (* every point of the set maps into the projection, whichever dimension
+     is eliminated *)
+  QCheck.Test.make ~name:"projection contains all shadows" ~count:300
+    (Pom_refute.Gen.arb_poly ())
+    (fun pc ->
+      let s = Rcase.set_of_poly pc in
       List.for_all
-        (fun pt ->
-          match pt with
-          | [ i; _ ] ->
-              Basic_set.mem (function "i" -> i | _ -> raise Not_found) p
-          | _ -> false)
-        (Feasible.enumerate s))
+        (fun d ->
+          let p = Basic_set.project_out d s in
+          List.for_all
+            (fun pt ->
+              let env =
+                let tbl = List.combine pc.Rcase.dims pt in
+                fun x -> List.assoc x tbl
+              in
+              Basic_set.mem env p)
+            (Feasible.enumerate s))
+        pc.Rcase.dims)
+
+let prop_elimination_order_invariant =
+  (* Invariance under elimination order is conditional: each FM step
+     tightens inequalities over the integers, so when a step eliminates a
+     dimension with non-unit coefficients, different orders can produce
+     different (both sound) over-approximations — the refutation engine
+     found {3i + j - 3k + 1 >= 0, -i + 3k >= 0} over the [-1,1] box as a
+     counterexample to the unconditional claim (see test/refute-corpus).
+     What is guaranteed: project_onto agrees with the equally-ordered
+     project_out chain, no true shadow point is ever lost by either
+     order, and when every elimination step is exact (unit coefficient or
+     unit-equality substitution) both orders agree exactly. *)
+  QCheck.Test.make ~name:"projection invariant under elimination order"
+    ~count:300
+    (Pom_refute.Gen.arb_poly ())
+    (fun pc ->
+      match pc.Rcase.dims with
+      | [] | [ _ ] -> true
+      | keep :: elim ->
+          let s = Rcase.set_of_poly pc in
+          let step_exact d t =
+            List.for_all
+              (fun cns ->
+                abs (Linexpr.coeff (Constr.expr cns) d) <= 1
+                || (Constr.is_eq cns
+                   && abs (Linexpr.coeff (Constr.expr cns) d) = 1))
+              (Basic_set.constraints t)
+            || List.exists
+                 (fun cns ->
+                   Constr.is_eq cns
+                   && abs (Linexpr.coeff (Constr.expr cns) d) = 1)
+                 (Basic_set.constraints t)
+          in
+          let chain order =
+            List.fold_left
+              (fun (t, exact) d ->
+                (Basic_set.project_out d t, exact && step_exact d t))
+              (s, true) order
+          in
+          let p1, exact1 = chain elim and p2, exact2 = chain (List.rev elim) in
+          let p3 = Basic_set.project_onto [ keep ] s in
+          let shadow =
+            List.sort_uniq compare (List.map List.hd (Feasible.enumerate s))
+          in
+          List.for_all
+            (fun x ->
+              let env _ = x in
+              let m1 = Basic_set.mem env p1
+              and m2 = Basic_set.mem env p2
+              and m3 = Basic_set.mem env p3
+              and truth = List.mem x shadow in
+              (* project_onto drops dims in the same order as p1 *)
+              m3 = m1
+              (* soundness: neither order loses a true shadow point *)
+              && ((not truth) || (m1 && m2))
+              (* exact chains agree with the ground truth, hence each other *)
+              && ((not exact1) || m1 = truth)
+              && ((not exact2) || m2 = truth))
+            (List.init
+               (pc.Rcase.hi - pc.Rcase.lo + 1)
+               (fun i -> pc.Rcase.lo + i)))
 
 let test_fix_dim () =
   let s = box [ ("i", 0, 4); ("j", 2, 6) ] in
@@ -287,5 +345,7 @@ let () =
             test_fm_projection_stays_bounded;
           Alcotest.test_case "FM projection cap" `Quick test_fm_projection_cap;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_projection_is_shadow ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_projection_is_shadow; prop_elimination_order_invariant ] );
     ]

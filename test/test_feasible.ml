@@ -69,54 +69,45 @@ let test_min_max_empty () =
   let e = Basic_set.make [ "i" ] [ Constr.ge (v "i") (c 1); Constr.le (v "i") (c 0) ] in
   Alcotest.(check (option int)) "min of empty" None (Feasible.min_of (v "i") e)
 
-(* random small polyhedra: is_empty agrees with brute-force enumeration *)
-let random_set =
-  QCheck.Gen.(
-    let constr =
-      map3
-        (fun a b cst ->
-          Constr.Ge
-            (Linexpr.add (Linexpr.term a "i")
-               (Linexpr.add (Linexpr.term b "j") (Linexpr.const cst))))
-        (int_range (-3) 3) (int_range (-3) 3) (int_range (-6) 6)
-    in
-    map
-      (fun cs ->
-        Basic_set.make [ "i"; "j" ]
-          (Constr.ge (v "i") (c (-4)) :: Constr.le (v "i") (c 4)
-          :: Constr.ge (v "j") (c (-4)) :: Constr.le (v "j") (c 4) :: cs))
-      (list_size (int_range 0 4) constr))
+(* random small polyhedra come from the refutation engine's shared
+   generator — one distribution (and one shrinker) serves this suite,
+   test_basic_set, and the pom_refute fuzzing driver *)
+module Rcase = Pom_refute.Case
 
-let brute_force_empty s =
-  let found = ref false in
-  for i = -4 to 4 do
-    for j = -4 to 4 do
-      if Basic_set.mem (function "i" -> i | "j" -> j | _ -> raise Not_found) s
-      then found := true
-    done
-  done;
-  not !found
+let env_of dims pt =
+  let tbl = List.combine dims pt in
+  fun x -> List.assoc x tbl
+
+let brute_force_empty pc s =
+  not
+    (List.exists
+       (fun pt -> Basic_set.mem (env_of pc.Rcase.dims pt) s)
+       (Rcase.box_points pc))
 
 let prop_emptiness_exact =
   QCheck.Test.make ~name:"is_empty agrees with brute force" ~count:500
-    (QCheck.make random_set) (fun s -> Feasible.is_empty s = brute_force_empty s)
+    (Pom_refute.Gen.arb_poly ())
+    (fun pc ->
+      let s = Rcase.set_of_poly pc in
+      Feasible.is_empty s = brute_force_empty pc s)
 
 let prop_min_is_attained =
   QCheck.Test.make ~name:"min_of is attained and minimal" ~count:300
-    (QCheck.make random_set) (fun s ->
-      let obj = Linexpr.add (v "i") (Linexpr.term (-2) "j") in
+    (Pom_refute.Gen.arb_poly ())
+    (fun pc ->
+      let s = Rcase.set_of_poly pc in
+      let obj =
+        match pc.Rcase.dims with
+        | [ d ] -> v d
+        | d :: d' :: _ -> Linexpr.add (v d) (Linexpr.term (-2) d')
+        | [] -> assert false
+      in
       match Feasible.min_of obj s with
       | None -> Feasible.is_empty s
       | Some m ->
           let values =
             List.map
-              (fun pt ->
-                match pt with
-                | [ i; j ] ->
-                    Linexpr.eval
-                      (function "i" -> i | "j" -> j | _ -> raise Not_found)
-                      obj
-                | _ -> assert false)
+              (fun pt -> Linexpr.eval (env_of pc.Rcase.dims pt) obj)
               (Feasible.enumerate s)
           in
           (* projection bound is sound (<= all values); exact on this
