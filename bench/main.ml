@@ -13,9 +13,15 @@ let jobs_flag = ref (max 4 Pom.Par.default_jobs)
 (* how the dse experiment spends that budget (--jobs-mode) *)
 let mode_flag = ref Pom.Par.Domains
 
+(* target items per work-stealing chunk for the dse experiment (--chunk) *)
+let chunk_flag = ref Pom.Par.default_chunk
+
 let experiments =
   [
-    ("dse", fun () -> Bench_dse.run ~jobs:!jobs_flag ~mode:!mode_flag ());
+    ( "dse",
+      fun () ->
+        Pom.Par.set_chunk !chunk_flag;
+        Bench_dse.run ~jobs:!jobs_flag ~mode:!mode_flag () );
     ("fig2", Bench_fig2.run);
     ("table3", Bench_table3.run);
     ("fig11", Bench_fig11.run);
@@ -114,6 +120,13 @@ let () =
             prerr_endline msg;
             exit 1);
         strip rest
+    | "--chunk" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some c when c >= 1 -> chunk_flag := c
+        | Some _ | None ->
+            Printf.eprintf "--chunk expects a positive integer, got %s\n" n;
+            exit 1);
+        strip rest
     | x :: rest -> x :: strip rest
     | [] -> []
   in
@@ -123,6 +136,7 @@ let () =
       run_bechamel ()
   | [ "bechamel" ] ->
       run_bechamel ();
+      Pom.Par.set_chunk !chunk_flag;
       Bench_dse.run ~jobs:!jobs_flag ~mode:!mode_flag ()
   | ids ->
       List.iter

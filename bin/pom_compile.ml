@@ -74,9 +74,10 @@ let framework_of_string = function
 
 let run workload from_c size framework schedules lint werror emit_c emit_mlir
     emit_testbench validate check_legality timeline trace timing dump_after
-    verify_each resource_frac jobs jobs_mode _worker deadline on_error
+    verify_each resource_frac jobs jobs_mode chunk _worker deadline on_error
     checkpoint inject list_workloads =
   Pom.Par.set_jobs jobs;
+  Pom.Par.set_chunk chunk;
   (match Pom.Par.mode_of_string jobs_mode with
   | Ok m -> Pom.Par.set_mode m
   | Error m ->
@@ -157,10 +158,25 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
               dump_after;
             Format.printf "workload:    %s (size %d)@." workload size;
             Format.printf "framework:   %s@." framework;
-            if timing then
+            if timing then begin
               List.iter
                 (Format.printf "pass:        %a@." Pom.Pipeline.Pass.pp_record)
                 c.Pom.passes;
+              let ps = Pom.Poly.Projcache.stats () in
+              Format.printf
+                "cache:       fm-projection exact %d/%d hits, parametric \
+                 %d/%d hits (%.0f%% overall)@."
+                ps.Pom.Poly.Projcache.exact_hits
+                (ps.Pom.Poly.Projcache.exact_hits
+                + ps.Pom.Poly.Projcache.exact_misses)
+                ps.Pom.Poly.Projcache.param_hits
+                (ps.Pom.Poly.Projcache.param_hits
+                + ps.Pom.Poly.Projcache.param_misses)
+                (100.0 *. Pom.Poly.Projcache.hit_rate ps);
+              let dh, dm = Pom.Hls.Summary.dep_cache_stats () in
+              Format.printf "cache:       dependence memo %d/%d hits@." dh
+                (dh + dm)
+            end;
             List.iter
               (fun (r : Pom.Pipeline.Pass.record) ->
                 match r.Pom.Pipeline.Pass.dump with
@@ -394,6 +410,18 @@ let jobs_mode_arg =
            speaking the framed wire protocol on their pipes.  Either \
            mode compiles the identical design.")
 
+let chunk_arg =
+  Arg.(
+    value
+    & opt int Pom.Par.default_chunk
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Target number of DSE candidates per work-stealing chunk.  \
+           Workers take whole chunks and split one in half only when the \
+           queue runs dry, so larger chunks amortize scheduling and \
+           wire-protocol overhead while smaller ones balance load.  The \
+           compiled design is identical for every N.")
+
 (* --worker never reaches Cmdliner (it is intercepted in the entry
    point below, before argv parsing), but declaring it here documents
    the flag in --help. *)
@@ -476,7 +504,8 @@ let cmd =
       $ schedule_arg $ lint_arg $ werror_arg $ emit_c_arg $ emit_mlir_arg
       $ emit_testbench_arg $ validate_arg $ check_legality_arg $ timeline_arg
       $ trace_arg $ timing_arg $ dump_after_arg $ verify_each_arg $ frac_arg
-      $ jobs_arg $ jobs_mode_arg $ worker_arg $ deadline_arg $ on_error_arg
+      $ jobs_arg $ jobs_mode_arg $ chunk_arg $ worker_arg $ deadline_arg
+      $ on_error_arg
       $ checkpoint_arg $ inject_arg $ list_arg)
 
 let () =

@@ -27,7 +27,7 @@ let family_arg =
     value & opt_all string []
     & info [ "family" ] ~docv:"FAM"
         ~doc:
-          "Oracle family to run: poly, semantic, or degrade.  Repeatable; \
+          "Oracle family to run: poly, semantic, degrade, or qor.  Repeatable; \
            default all three.")
 
 let budget_arg =

@@ -87,6 +87,10 @@ let realize_unit u =
       (fun (c, order, extents) -> Stage2.realize c order extents u.par)
       u.members
 
+(* The plan (hardware application + partition derivation) is shared with
+   {!Stage2.realization_plan} — same memo, same key — so a ladder rung the
+   POM search already planned, or one a worker shipped back, costs a
+   lookup here. *)
 let evaluate_realized ~cache ~device ~composition ~latency_mode func base
     realizations =
   let hw =
@@ -94,15 +98,13 @@ let evaluate_realized ~cache ~device ~composition ~latency_mode func base
       (fun rs -> List.concat_map (fun r -> r.Stage2.hw_directives) rs)
       realizations
   in
-  let prog0 = Memo.schedule cache func base in
-  let prog0 = List.fold_left Prog.apply prog0 hw in
-  let parts = Stage2.partition_plan prog0 in
-  let directives = base @ hw @ parts in
+  let plan = Stage2.realization_plan ~cache func base hw in
   let prog, report =
-    Memo.synthesize cache ~composition ~latency_mode ~device ~directives func
-      (fun () -> List.fold_left Prog.apply prog0 parts)
+    Memo.synthesize cache ~composition ~latency_mode ~device
+      ~directives:plan.Memo.plan_directives func (fun () ->
+        List.fold_left Prog.apply plan.Memo.plan_prog_hw plan.Memo.plan_parts)
   in
-  (prog, directives, report)
+  (prog, plan.Memo.plan_directives, report)
 
 let evaluate ~cache ~device ~composition ~latency_mode func base units =
   evaluate_realized ~cache ~device ~composition ~latency_mode func base
@@ -134,10 +136,13 @@ let usage_sub (a : Resource.usage) (b : Resource.usage) =
     bram = a.Resource.bram - b.Resource.bram;
   }
 
-let greedy_pass ?(cache = Memo.global) ?jobs ?checkpoint
+let greedy_pass ?(cache = Memo.global) ?jobs ?chunk ?checkpoint
     ?(on_result = fun _ -> ()) () =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pom_par.Par.jobs ()
+  in
+  let chunk =
+    match chunk with Some c -> max 1 c | None -> Pom_par.Par.chunk ()
   in
   Pass.v ~name:"scalehls-greedy-dse"
     ~descr:"greedy program-order factor-ladder DSE under a dataflow budget"
@@ -199,7 +204,7 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?checkpoint
               List.concat_map (fun r -> r.Stage2.hw_directives) u.realization)
             units
         in
-        List.fold_left Prog.apply (Memo.schedule cache func base) hw
+        (Stage2.realization_plan ~cache func base hw).Memo.plan_prog_hw
       in
       let current = ref (eval ()) in
       let budget =
@@ -224,14 +229,14 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?checkpoint
         then None
         else
           match
-            Pom_dse.Workpool.create ~jobs ~func ~device ~composition
+            Pom_dse.Workpool.borrow ~jobs ~func ~device ~composition
               ~latency_mode ~base ()
           with
           | pool -> Some pool
           | exception _ -> None
       in
       Fun.protect
-        ~finally:(fun () -> Option.iter Pom_dse.Workpool.shutdown pool)
+        ~finally:(fun () -> Option.iter Pom_dse.Workpool.release pool)
       @@ fun () ->
       (* With a worker budget, warm the report memo for all of a unit's
          ladder rungs before its greedy walk: a rung evaluation depends only
@@ -263,6 +268,11 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?checkpoint
         in
         List.map point (List.rev rungs)
       in
+      (* One unit's ladder is the canonical tile-ladder chunk: every rung
+         shares the schedule skeleton (the other units are frozen), so it
+         is submitted as one group — shipped in [chunk]-sized frames to
+         the worker processes, or handed whole to the work-stealing
+         executor, which splits it only when a worker goes idle. *)
       let prefetch_ladder =
         if jobs <= 1 || Pom_par.Pool.in_worker () then None
         else
@@ -279,24 +289,38 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?checkpoint
                       (ladder_points u)
                   in
                   if hws <> [] then
+                    let _, items =
+                      Pom_dse.Workpool.eval_chunks pool ~chunk hws
+                    in
                     List.iter
-                      (fun (key, v) -> Memo.absorb_report cache ~key v)
-                      (Pom_dse.Workpool.eval pool hws))
+                      (fun (hw, (it : Pom_dse.Workpool.item)) ->
+                        Memo.absorb_report cache ~key:it.Pom_dse.Workpool.r_key
+                          ( it.Pom_dse.Workpool.prog,
+                            it.Pom_dse.Workpool.report );
+                        Memo.absorb_plan cache
+                          ~key:(Memo.plan_key ~base ~hw ~bank_cap:None func)
+                          {
+                            Memo.plan_directives =
+                              base @ hw @ it.Pom_dse.Workpool.parts;
+                            plan_parts = it.Pom_dse.Workpool.parts;
+                            plan_prog_hw = it.Pom_dse.Workpool.prog_hw;
+                          })
+                      items)
           | None when Pom_par.Par.mode () = Pom_par.Par.Procs -> None
           | None ->
               Some
                 (fun u ->
-                  Pom_par.Par.with_jobs jobs (fun () ->
-                      ignore
-                        (Pom_par.Par.map
-                           (fun point ->
-                             try
-                               ignore
-                                 (evaluate_realized ~cache ~device
-                                    ~composition ~latency_mode func base
-                                    point)
-                             with _ -> ())
-                           (ladder_points u))))
+                  let points = Array.of_list (ladder_points u) in
+                  if Array.length points > 0 then
+                    ignore
+                      (Pom_par.Chunks.run ~jobs ~chunk
+                         ~f:(fun _ point ->
+                           try
+                             ignore
+                               (evaluate_realized ~cache ~device ~composition
+                                  ~latency_mode func base point)
+                           with _ -> ())
+                         [ points ]))
       in
       if not huge then
         List.iter
@@ -404,11 +428,11 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?checkpoint
         dse_cpu_s = st.State.dse_cpu_s +. (Sys.time () -. cpu0);
       })
 
-let passes ?cache ?jobs ?checkpoint ?on_result () =
+let passes ?cache ?jobs ?chunk ?checkpoint ?on_result () =
   [
     interchange_pass ();
     Passes.structural ();
-    greedy_pass ?cache ?jobs ?checkpoint ?on_result ();
+    greedy_pass ?cache ?jobs ?chunk ?checkpoint ?on_result ();
   ]
 
 let run ?(device = Device.xc7z020) ?(dnn = false) func =

@@ -37,11 +37,15 @@ type result = {
     larger pipeline.  Initialize the state with the dataflow composition
     and the intended latency mode.
 
-    [jobs] (default {!Pom_par.Par.jobs}) sets the worker-domain budget of
-    the greedy pass.  With [jobs > 1] each unit's factor ladder is
-    speculatively evaluated concurrently to warm the report memo before the
-    sequential greedy walk replays over it — the chosen design is identical
-    across job counts, and [jobs = 1] reproduces the sequential walk
+    [jobs] (default {!Pom_par.Par.jobs}) sets the worker budget of the
+    greedy pass.  With [jobs > 1] each unit's factor ladder — one
+    tile-ladder chunk sharing a schedule skeleton — is speculatively
+    evaluated concurrently to warm the plan and report memos before the
+    sequential greedy walk replays over it: on the chunked work-stealing
+    executor in domains mode, or shipped in [chunk]-sized request frames
+    (default {!Pom_par.Par.chunk}) to worker processes in procs mode.  The
+    chosen design is identical across job counts, chunk sizes and steal
+    interleavings, and [jobs = 1] reproduces the sequential walk
     bit-for-bit.
 
     [checkpoint] names a crash-safe journal: every synthesized ladder rung
@@ -52,6 +56,7 @@ type result = {
 val passes :
   ?cache:Pom_pipeline.Memo.t ->
   ?jobs:int ->
+  ?chunk:int ->
   ?checkpoint:string ->
   ?on_result:(result -> unit) ->
   unit ->

@@ -30,15 +30,16 @@ val passes :
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
   ?jobs:int ->
+  ?chunk:int ->
   ?checkpoint:string ->
   ?on_stage1:(Stage1.t -> unit) ->
   ?on_result:(Stage2.result -> unit) ->
   unit ->
   Pom_pipeline.State.t Pom_pipeline.Pass.t list
 
-(** [jobs] and [checkpoint] are forwarded to {!Stage2.run}; the chosen
-    design is identical across job counts and across a kill-and-resume of a
-    checkpointed search (see {!Stage2.run}). *)
+(** [jobs], [chunk] and [checkpoint] are forwarded to {!Stage2.run}; the
+    chosen design is identical across job counts, chunk sizes, and across a
+    kill-and-resume of a checkpointed search (see {!Stage2.run}). *)
 val run :
   ?device:Pom_hls.Device.t ->
   ?composition:Pom_hls.Resource.composition ->
@@ -47,6 +48,7 @@ val run :
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
   ?jobs:int ->
+  ?chunk:int ->
   ?checkpoint:string ->
   Pom_dsl.Func.t ->
   outcome

@@ -1,6 +1,8 @@
 open Pom_dsl
 open Pom_polyir
 open Pom_hls
+module Memo = Pom_pipeline.Memo
+module Chunks = Pom_par.Chunks
 
 type result = {
   directives : Schedule.t list;
@@ -13,6 +15,7 @@ type result = {
   report_cache_hits : int;
   cold_syntheses : int;
   pruned : int;
+  sched : Chunks.stats;
 }
 
 (* ---- parallelism realization for one compute ---- *)
@@ -209,10 +212,27 @@ let realize_unit u =
 
 (* ---- full-program evaluation ---- *)
 
-(* The base-directive prefix is identical for every candidate, so its
-   application is served by the schedule memo after the first evaluation;
-   the full design point (base + hardware + partitioning) keys the report
-   memo, so re-asking for an already-evaluated point costs a lookup. *)
+(* The shared work of a candidate is memoized at two levels: the
+   base-directive prefix application (the schedule memo, one entry for the
+   whole search) and the candidate's realization plan — hardware-directive
+   application plus the derived partition plan (the plan memo, one entry
+   per design point).  A speculatively warmed design point is thereby a
+   guaranteed O(lookup) hit for the sequential replay: recovering the
+   report key costs a plan lookup, never a re-application of the hardware
+   directives. *)
+let realization_plan ?bank_cap ~cache func base hw =
+  Memo.plan cache
+    ~key:(Memo.plan_key ~base ~hw ~bank_cap func)
+    (fun () ->
+      let prog0 = Memo.schedule cache func base in
+      let prog_hw = List.fold_left Prog.apply prog0 hw in
+      let parts = partition_plan ?bank_cap prog_hw in
+      {
+        Memo.plan_directives = base @ hw @ parts;
+        plan_parts = parts;
+        plan_prog_hw = prog_hw;
+      })
+
 let evaluate_realized ?bank_cap ~cache ~device ~composition func
     base_directives realizations =
   let hw =
@@ -220,15 +240,13 @@ let evaluate_realized ?bank_cap ~cache ~device ~composition func
       (fun rs -> List.concat_map (fun r -> r.hw_directives) rs)
       realizations
   in
-  let prog0 = Pom_pipeline.Memo.schedule cache func base_directives in
-  let prog0 = List.fold_left Prog.apply prog0 hw in
-  let parts = partition_plan ?bank_cap prog0 in
-  let directives = base_directives @ hw @ parts in
+  let plan = realization_plan ?bank_cap ~cache func base_directives hw in
   let prog, report =
-    Pom_pipeline.Memo.synthesize cache ~composition ~device ~directives func
-      (fun () -> List.fold_left Prog.apply prog0 parts)
+    Memo.synthesize cache ~composition ~device
+      ~directives:plan.Memo.plan_directives func (fun () ->
+        List.fold_left Prog.apply plan.Memo.plan_prog_hw plan.Memo.plan_parts)
   in
-  (prog, directives, report)
+  (prog, plan.Memo.plan_directives, report)
 
 let evaluate ?bank_cap ~cache ~device ~composition func base_directives units =
   evaluate_realized ?bank_cap ~cache ~device ~composition func base_directives
@@ -339,8 +357,9 @@ let default_steps par = [ par * 2; par * 3 / 2 ]
 let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     ?(par_cap = 64) ?bank_cap ?(steps = default_steps)
     ?(cache = Pom_pipeline.Memo.global) ?(jobs = Pom_par.Par.jobs ())
-    ?checkpoint func (stage1 : Stage1.t) =
+    ?(chunk = Pom_par.Par.chunk ()) ?checkpoint func (stage1 : Stage1.t) =
   let jobs = max 1 jobs in
+  let chunk = max 1 chunk in
   (* Journal every genuinely synthesized design point; on resume the intact
      records are replayed into the report memo first, so the sequential
      replay below re-derives the exact decision sequence of the
@@ -411,7 +430,7 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     then None
     else
       match
-        Workpool.create ~jobs ~func ~device ~composition
+        Workpool.borrow ~jobs ~func ~device ~composition
           ~latency_mode:`Sequential ~base ?bank_cap ()
       with
       | pool -> Some pool
@@ -421,10 +440,54 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
             (Printexc.to_string e);
           None
   in
-  Fun.protect ~finally:(fun () -> Option.iter Workpool.shutdown pool)
+  Fun.protect ~finally:(fun () -> Option.iter Workpool.release pool)
   @@ fun () ->
-  let depth = min 3 (max 1 (jobs - 1)) in
+  let depth = min 2 (max 1 (jobs - 1)) in
   let cap = 4 * jobs in
+  let sched = ref (Chunks.zero_stats ~jobs ~chunk_size:chunk) in
+  (* Candidates already dealt in an earlier iteration are warm (or in that
+     iteration's absorb path); don't re-warm them.  The table is keyed by
+     the printed hardware-directive list — the same identity the plan memo
+     uses — so dedup is shared by both jobs modes. *)
+  let dispatched = Hashtbl.create 64 in
+  (* The fresh slice of the speculative frontier, grouped per varied unit:
+     each group is a tile ladder — candidates stepping one unit's
+     parallelism off the shared incumbent skeleton — which is the
+     contiguity the chunked executor preserves (a chunk's candidates share
+     their schedule prefix, so the plan memo's shared work amortizes). *)
+  let fresh_frontier () =
+    let base_pars = Array.of_list (List.map (fun u -> u.par) units) in
+    let varied pars =
+      let n = Array.length pars in
+      let rec first i = if i >= n then 0 else if pars.(i) <> base_pars.(i) then i else first (i + 1) in
+      first 0
+    in
+    let fresh =
+      List.filter_map
+        (fun pars ->
+          let rzs = realizations_of units pars in
+          let hw =
+            List.concat_map
+              (fun rs -> List.concat_map (fun r -> r.hw_directives) rs)
+              rzs
+          in
+          let k =
+            String.concat ";" (List.map (Format.asprintf "%a" Schedule.pp) hw)
+          in
+          if Hashtbl.mem dispatched k then None
+          else begin
+            Hashtbl.add dispatched k ();
+            Some (varied pars, rzs, hw)
+          end)
+        (frontier ~steps ~depth ~cap units)
+    in
+    let groups =
+      List.sort_uniq Int.compare (List.map (fun (g, _, _) -> g) fresh)
+    in
+    List.map
+      (fun g -> List.filter (fun (g', _, _) -> g' = g) fresh)
+      groups
+  in
   let prefetch =
     if jobs <= 1 || Pom_par.Pool.in_worker () then None
     else
@@ -432,62 +495,80 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
       | Some pool ->
           log
             "parallel: %d-way process-sharded speculative evaluation \
-             (frontier depth %d, cap %d)"
-            jobs depth cap;
-          (* candidates already dealt in an earlier iteration are warm (or
-             in this iteration's absorb path); don't re-ship them *)
-          let dispatched = Hashtbl.create 64 in
+             (frontier depth %d, cap %d, chunk %d)"
+            jobs depth cap chunk;
           Some
             (fun () ->
-              let cands = frontier ~steps ~depth ~cap units in
               let hws =
-                List.filter_map
-                  (fun pars ->
-                    let hw =
-                      List.concat_map
-                        (fun rs ->
-                          List.concat_map (fun r -> r.hw_directives) rs)
-                        (realizations_of units pars)
-                    in
-                    let k =
-                      String.concat ";"
-                        (List.map (Format.asprintf "%a" Schedule.pp) hw)
-                    in
-                    if Hashtbl.mem dispatched k then None
-                    else begin
-                      Hashtbl.add dispatched k ();
-                      Some hw
-                    end)
-                  cands
+                List.concat_map
+                  (List.map (fun (_, _, hw) -> hw))
+                  (fresh_frontier ())
               in
-              if hws <> [] then
+              if hws <> [] then begin
+                let n_chunks, items =
+                  Workpool.eval_chunks pool ~chunk hws
+                in
                 List.iter
-                  (fun (key, v) ->
-                    Pom_pipeline.Memo.absorb_report cache ~key v)
-                  (Workpool.eval pool hws))
+                  (fun (hw, (it : Workpool.item)) ->
+                    Memo.absorb_report cache ~key:it.Workpool.r_key
+                      (it.Workpool.prog, it.Workpool.report);
+                    Memo.absorb_plan cache
+                      ~key:(Memo.plan_key ~base ~hw ~bank_cap func)
+                      {
+                        Memo.plan_directives = base @ hw @ it.Workpool.parts;
+                        plan_parts = it.Workpool.parts;
+                        plan_prog_hw = it.Workpool.prog_hw;
+                      })
+                  items;
+                (* chunks are dealt round-robin over the live workers; no
+                   stealing happens across processes *)
+                let alive = max 1 (Workpool.alive pool) in
+                let worker_items = Array.make jobs 0 in
+                List.iteri
+                  (fun c (_ : Schedule.t list) ->
+                    let w = c / chunk mod alive in
+                    worker_items.(w) <- worker_items.(w) + 1)
+                  hws;
+                sched :=
+                  Chunks.merge !sched
+                    {
+                      Chunks.jobs;
+                      chunk_size = chunk;
+                      chunks = n_chunks;
+                      items = List.length hws;
+                      steals = 0;
+                      splits = 0;
+                      worker_items;
+                    }
+              end)
       | None when Pom_par.Par.mode () = Pom_par.Par.Procs ->
           (* procs requested but no pool: Par.map is sequential in this
              mode, so a domain-style warm would only repeat the replay *)
           None
       | None ->
           log
-            "parallel: %d-way speculative evaluation (frontier depth %d, \
-             cap %d)"
-            jobs depth cap;
+            "parallel: %d-way chunked work-stealing speculative evaluation \
+             (frontier depth %d, cap %d, chunk %d)"
+            jobs depth cap chunk;
           Some
             (fun () ->
-              let cands = frontier ~steps ~depth ~cap units in
-              Pom_par.Par.with_jobs jobs (fun () ->
-                  ignore
-                    (Pom_par.Par.map
-                       (fun pars ->
+              let groups =
+                List.map
+                  (fun g ->
+                    Array.of_list (List.map (fun (_, rzs, _) -> rzs) g))
+                  (fresh_frontier ())
+              in
+              if groups <> [] then
+                sched :=
+                  Chunks.merge !sched
+                    (Chunks.run ~jobs ~chunk
+                       ~f:(fun _ rzs ->
                          try
                            ignore
                              (evaluate_realized ?bank_cap ~cache ~device
-                                ~composition func base
-                                (realizations_of units pars))
+                                ~composition func base rzs)
                          with _ -> ())
-                       cands)))
+                       groups))
   in
   let iterations = ref 0 in
   let pruned = ref 0 in
@@ -500,7 +581,7 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
         (fun u -> List.concat_map (fun r -> r.hw_directives) u.realization)
         units
     in
-    List.fold_left Prog.apply (Pom_pipeline.Memo.schedule cache func base) hw
+    (realization_plan ?bank_cap ~cache func base hw).Memo.plan_prog_hw
   in
   let continue_ = ref true in
   while !continue_ && !iterations < 60 do
@@ -621,6 +702,7 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     - memo0.Pom_pipeline.Memo.schedule_hits);
   if !pruned > 0 then
     log "analyzer: %d design points pruned before synthesis" !pruned;
+  if !sched.Chunks.items > 0 then log "scheduler: %a" Chunks.pp !sched;
   let tile_vectors =
     List.concat_map
       (fun u ->
@@ -640,4 +722,5 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
     report_cache_hits;
     cold_syntheses;
     pruned = !pruned;
+    sched = !sched;
   }

@@ -28,6 +28,22 @@ val realize : string -> string list -> int list -> int -> realization
     factors are shed by halving, trading a slightly larger II). *)
 val partition_plan : ?bank_cap:int -> Pom_polyir.Prog.t -> Schedule.t list
 
+(** [realization_plan ~cache func base hw] is the memoized work between a
+    candidate's hardware directives and its report synthesis: apply the
+    (schedule-memoized) base prefix, apply [hw], derive the partition plan
+    ({!partition_plan} under [bank_cap]).  One plan-memo entry per design
+    point; shared verbatim by the search, the analyzer's pre-pruning
+    oracle, the ScaleHLS baseline, and the process workers — which is what
+    makes a speculatively warmed design point a guaranteed lookup for the
+    sequential replay. *)
+val realization_plan :
+  ?bank_cap:int ->
+  cache:Pom_pipeline.Memo.t ->
+  Func.t ->
+  Schedule.t list ->
+  Schedule.t list ->
+  Pom_pipeline.Memo.plan
+
 type result = {
   directives : Schedule.t list;
       (** the full plan: stage-1 directives + hardware directives *)
@@ -51,6 +67,11 @@ type result = {
           synthesis: every copy the candidate adds would serialize on a
           loop-carried dependence, so under the QoR model it cannot beat
           the incumbent *)
+  sched : Pom_par.Chunks.stats;
+      (** the speculative warm's scheduler counters, accumulated over the
+          search: chunks/items dealt, steals and splits (domains mode;
+          zero in procs mode, where chunks are shipped whole), per-worker
+          item counts.  All zero at [jobs = 1]. *)
 }
 
 (** [run func stage1] performs the bottleneck-oriented search.
@@ -69,13 +90,18 @@ type result = {
     decision sequence of the uninterrupted search, so a killed-and-resumed
     run produces identical directives, tile vectors, and report.
 
-    [jobs] (default {!Pom_par.Par.jobs}) sets the worker-domain budget.
-    With [jobs > 1] the search speculatively evaluates the candidate
-    frontier (the design points reachable within a few accepted steps)
-    concurrently to warm the report memo, then replays the exact sequential
-    decision sequence against the warm cache — so the chosen directives,
-    tile vectors, and report are identical across job counts, and
-    [jobs = 1] reproduces the sequential search bit-for-bit. *)
+    [jobs] (default {!Pom_par.Par.jobs}) sets the worker budget.  With
+    [jobs > 1] the search speculatively evaluates the fresh slice of the
+    candidate frontier (the design points reachable within a few accepted
+    steps, minus the already-dispatched ones) concurrently to warm the
+    plan and report memos, then replays the exact sequential decision
+    sequence against the warm cache — so the chosen directives, tile
+    vectors, and report are identical across job counts, chunk sizes, and
+    steal interleavings, and [jobs = 1] reproduces the sequential search
+    bit-for-bit.  The warm runs on the chunked work-stealing executor
+    ({!Pom_par.Chunks}) in domains mode, or ships chunks to worker
+    processes in procs mode; [chunk] (default {!Pom_par.Par.chunk}) is the
+    target chunk granularity in both. *)
 val run :
   ?device:Pom_hls.Device.t ->
   ?composition:Pom_hls.Resource.composition ->
@@ -84,6 +110,7 @@ val run :
   ?steps:(int -> int list) ->
   ?cache:Pom_pipeline.Memo.t ->
   ?jobs:int ->
+  ?chunk:int ->
   ?checkpoint:string ->
   Func.t ->
   Stage1.t ->

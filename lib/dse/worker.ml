@@ -2,26 +2,34 @@ module W = Pom_wire.Wire
 module Memo = Pom_pipeline.Memo
 
 (* One candidate, evaluated exactly as {!Stage2.evaluate_realized} would:
-   same memoized base-prefix application, same partition plan, same
-   directive concatenation order — so the memo key and the report are the
-   ones the parent's sequential replay will ask for. *)
+   the shared {!Stage2.realization_plan} recipe (memoized base-prefix
+   application, hardware application, partition plan) followed by the same
+   directive-keyed synthesis — so the memo keys, the plan, and the report
+   are the ones the parent's sequential replay will ask for. *)
 let evaluate ~cache (h : Workpool.hello) hw =
-  let prog0 = Memo.schedule cache h.Workpool.func h.Workpool.base in
-  let prog0 = List.fold_left Pom_polyir.Prog.apply prog0 hw in
-  let parts = Stage2.partition_plan ?bank_cap:h.Workpool.bank_cap prog0 in
-  let directives = h.Workpool.base @ hw @ parts in
+  let plan =
+    Stage2.realization_plan ?bank_cap:h.Workpool.bank_cap ~cache
+      h.Workpool.func h.Workpool.base hw
+  in
   let prog, report =
     Memo.synthesize cache ~composition:h.Workpool.composition
       ~latency_mode:h.Workpool.latency_mode ~device:h.Workpool.device
-      ~directives h.Workpool.func (fun () ->
-        List.fold_left Pom_polyir.Prog.apply prog0 parts)
+      ~directives:plan.Memo.plan_directives h.Workpool.func (fun () ->
+        List.fold_left Pom_polyir.Prog.apply plan.Memo.plan_prog_hw
+          plan.Memo.plan_parts)
   in
   let key =
     Memo.report_key ~composition:h.Workpool.composition
       ~latency_mode:h.Workpool.latency_mode ~device:h.Workpool.device
-      ~directives h.Workpool.func
+      ~directives:plan.Memo.plan_directives h.Workpool.func
   in
-  (key, prog, report)
+  {
+    Workpool.r_key = key;
+    parts = plan.Memo.plan_parts;
+    prog_hw = plan.Memo.plan_prog_hw;
+    prog;
+    report;
+  }
 
 let main () =
   (* a worker is one shard: everything inside it runs sequentially *)
@@ -46,9 +54,30 @@ let main () =
               match W.of_string Workpool.request_codec payload with
               | Error _ -> None
               | Ok hw -> (
-                  try Some (evaluate ~cache h hw) with _ -> None))
+                  try
+                    let it = evaluate ~cache h hw in
+                    Some (it.Workpool.r_key, it.Workpool.prog, it.Workpool.report)
+                  with _ -> None))
         in
         Some (Workpool.tag_eval, W.to_string Workpool.reply_codec result)
+      end
+      else if tag = Workpool.tag_eval_chunk then begin
+        let items =
+          match !hello with
+          | None -> []
+          | Some h -> (
+              match W.of_string Workpool.chunk_request_codec payload with
+              | Error _ -> []
+              | Ok chunk ->
+                  (* one reply slot per candidate: a failed one costs its
+                     slot, never the chunk *)
+                  List.map
+                    (fun hw ->
+                      try Some (evaluate ~cache h hw) with _ -> None)
+                    chunk)
+        in
+        Some
+          (Workpool.tag_eval_chunk, W.to_string Workpool.chunk_reply_codec items)
       end
       else
         (* unknown request tag from a newer parent: answer with an empty

@@ -6,6 +6,7 @@ module Procs = Pom_par.Procs
 let header = { Pom_wire.Frame.kind = "pom-dse-worker"; version = 1 }
 let tag_hello = 1
 let tag_eval = 2
+let tag_eval_chunk = 3
 
 type hello = {
   func : Func.t;
@@ -33,7 +34,31 @@ let request_codec = W.list Pom_dsl.Wirec.schedule
 let reply_codec =
   W.option (W.triple W.string Pom_polyir.Wirec.prog Pom_hls.Wirec.report)
 
-type t = { procs : Procs.t }
+(* A chunk reply carries the full realization plan alongside the report, so
+   the parent can absorb both memo levels: the plan makes the sequential
+   replay's key recovery a lookup, the report makes its synthesis one. *)
+type item = {
+  r_key : string;
+  parts : Schedule.t list;
+  prog_hw : Pom_polyir.Prog.t;
+  prog : Pom_polyir.Prog.t;
+  report : Report.t;
+}
+
+let item_codec =
+  W.record5 "eval-item"
+    (W.field "key" W.string (fun i -> i.r_key))
+    (W.field "parts" (W.list Pom_dsl.Wirec.schedule) (fun i -> i.parts))
+    (W.field "prog_hw" Pom_polyir.Wirec.prog (fun i -> i.prog_hw))
+    (W.field "prog" Pom_polyir.Wirec.prog (fun i -> i.prog))
+    (W.field "report" Pom_hls.Wirec.report (fun i -> i.report))
+    (fun r_key parts prog_hw prog report ->
+      { r_key; parts; prog_hw; prog; report })
+
+let chunk_request_codec = W.list request_codec
+let chunk_reply_codec = W.list (W.option item_codec)
+
+type t = { procs : Procs.t; exe : string; jobs : int }
 
 let default_exe () =
   match Sys.getenv_opt "POM_WORKER_EXE" with
@@ -59,7 +84,62 @@ let create ?exe ~jobs ~func ~device ~composition ~latency_mode ~base ?bank_cap
   Procs.broadcast procs ~tag:tag_hello
     (W.to_string hello_codec
        { func; device; composition; latency_mode; base; bank_cap });
-  { procs }
+  { procs; exe; jobs }
+
+let alive t = Procs.alive t.procs
+
+(* Spawning a worker costs an exec plus a protocol handshake, and a fresh
+   worker starts with cold caches; a DSE sweep (bench repeats, a
+   ScaleHLS pass after a Stage 2 search) would otherwise pay it per run.
+   The registry keeps one idle pool per (exe, jobs) alive between
+   {!borrow}/{!release} pairs — a borrow rebinds the pooled workers to the
+   new search with a fresh hello, and their memo caches (keyed
+   structurally, never by search identity) carry over. *)
+let registry : (string * int, t) Hashtbl.t = Hashtbl.create 4
+
+let registry_lock = Mutex.create ()
+
+let shutdown t = Procs.shutdown t.procs
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock registry_lock;
+      let pools = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
+      Hashtbl.reset registry;
+      Mutex.unlock registry_lock;
+      List.iter (fun t -> try shutdown t with _ -> ()) pools)
+
+let borrow ?exe ~jobs ~func ~device ~composition ~latency_mode ~base ?bank_cap
+    () =
+  let exe = match exe with Some e -> e | None -> default_exe () in
+  Mutex.lock registry_lock;
+  let pooled = Hashtbl.find_opt registry (exe, jobs) in
+  Hashtbl.remove registry (exe, jobs);
+  Mutex.unlock registry_lock;
+  match pooled with
+  | Some t when Procs.alive t.procs = jobs ->
+      Procs.broadcast t.procs ~tag:tag_hello
+        (W.to_string hello_codec
+           { func; device; composition; latency_mode; base; bank_cap });
+      t
+  | Some t ->
+      (* workers died since the last run: replace the depleted pool *)
+      shutdown t;
+      create ~exe ~jobs ~func ~device ~composition ~latency_mode ~base
+        ?bank_cap ()
+  | None ->
+      create ~exe ~jobs ~func ~device ~composition ~latency_mode ~base
+        ?bank_cap ()
+
+let release t =
+  if Procs.alive t.procs = 0 then shutdown t
+  else begin
+    Mutex.lock registry_lock;
+    let keep = not (Hashtbl.mem registry (t.exe, t.jobs)) in
+    if keep then Hashtbl.add registry (t.exe, t.jobs) t;
+    Mutex.unlock registry_lock;
+    if not keep then shutdown t
+  end
 
 let eval t candidates =
   let payloads = List.map (W.to_string request_codec) candidates in
@@ -75,4 +155,40 @@ let eval t candidates =
           | Ok None | Error _ -> None))
     replies
 
-let shutdown t = Procs.shutdown t.procs
+let rec split_chunks n = function
+  | [] -> []
+  | l ->
+      let rec take k acc rest =
+        match rest with
+        | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+        | _ -> (List.rev acc, rest)
+      in
+      let c, rest = take n [] l in
+      c :: split_chunks n rest
+
+let eval_chunks t ~chunk candidates =
+  let chunk = max 1 chunk in
+  let chunks = split_chunks chunk candidates in
+  let payloads = List.map (W.to_string chunk_request_codec) chunks in
+  let replies = Procs.rpc t.procs ~tag:tag_eval_chunk payloads in
+  let items =
+    List.concat
+      (List.map2
+         (fun chunk reply ->
+           match reply with
+           | None -> [] (* a dead worker forfeits only its chunk *)
+           | Some payload -> (
+               match W.of_string chunk_reply_codec payload with
+               | Error _ -> []
+               | Ok items when List.length items <> List.length chunk -> []
+               | Ok items ->
+                   List.concat
+                     (List.map2
+                        (fun hw item ->
+                          match item with
+                          | Some it -> [ (hw, it) ]
+                          | None -> [])
+                        chunk items)))
+         chunks replies)
+  in
+  (List.length chunks, items)

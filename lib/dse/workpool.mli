@@ -3,17 +3,21 @@
 
     A pool is bound to one search (one function, device, composition,
     latency mode and base-directive prefix, broadcast once as a hello
-    record); {!eval} then deals candidate hardware-directive lists to
-    the workers and returns the evaluated design points, each already
-    keyed with the report-memo key — the caller merges them with
-    {!Pom_pipeline.Memo.absorb_report} and replays its exact sequential
-    search against the warm cache, which is what keeps procs-mode
-    results bit-identical to [--jobs 1].
+    record); {!eval_chunks} then ships *chunks* of candidate
+    hardware-directive lists to the workers — one framed request per
+    chunk, so the per-request overhead amortizes over the chunk — and
+    returns the evaluated design points.  Each reply carries the full
+    realization plan (partition directives, pre-partition program) next
+    to the report, so the caller merges both memo levels
+    ({!Pom_pipeline.Memo.absorb_plan}, {!Pom_pipeline.Memo.absorb_report})
+    and replays its exact sequential search against the warm cache —
+    which is what keeps procs-mode results bit-identical to [--jobs 1].
 
     The protocol is a {!Pom_wire.Frame} stream (kind
-    ["pom-dse-worker"]): record tag 1 is the hello, tag 2 an evaluate
-    request/reply.  Workers that die or answer garbage just cost their
-    share of the speculative work. *)
+    ["pom-dse-worker"]): record tag 1 is the hello, tag 2 a
+    single-candidate evaluate request/reply (kept for mixed-version
+    pairs), tag 3 a chunk request/reply.  Workers that die or answer
+    garbage just cost their share of the speculative work. *)
 
 open Pom_dsl
 open Pom_hls
@@ -46,15 +50,62 @@ val create :
   unit ->
   t
 
+(** As {!create}, but reuse an idle pool of the same executable and size
+    from the process-wide registry when one exists (rebound to this
+    search by a fresh hello) — worker spawns and their warm caches then
+    amortize over successive searches.  Pair with {!release}. *)
+val borrow :
+  ?exe:string ->
+  jobs:int ->
+  func:Func.t ->
+  device:Device.t ->
+  composition:Resource.composition ->
+  latency_mode:Report.latency_mode ->
+  base:Schedule.t list ->
+  ?bank_cap:int ->
+  unit ->
+  t
+
+(** Return a borrowed pool to the registry for the next search (pools
+    with no live workers, or a registry slot already occupied, are shut
+    down instead).  Registry pools are shut down at process exit. *)
+val release : t -> unit
+
+(** Number of live workers. *)
+val alive : t -> int
+
 (** [eval t candidates]: each candidate is the hardware-directive list
-    of one design point (relative to the broadcast base).  Returns the
-    successfully evaluated points — [(memo key, (prog, report))] — in
-    no guaranteed order; candidates whose evaluation failed (infeasible
-    schedule, dead worker) are simply absent. *)
+    of one design point (relative to the broadcast base), shipped as its
+    own request.  Returns the successfully evaluated points —
+    [(memo key, (prog, report))] — in no guaranteed order; candidates
+    whose evaluation failed (infeasible schedule, dead worker) are
+    simply absent. *)
 val eval :
   t ->
   Schedule.t list list ->
   (string * (Pom_polyir.Prog.t * Report.t)) list
+
+(** One evaluated design point of a chunk reply: the report-memo key,
+    the derived partition directives, the scheduled pre-partition
+    program (the plan), and the final program with its report. *)
+type item = {
+  r_key : string;
+  parts : Schedule.t list;
+  prog_hw : Pom_polyir.Prog.t;
+  prog : Pom_polyir.Prog.t;
+  report : Report.t;
+}
+
+(** [eval_chunks t ~chunk candidates] re-chunks the candidates to at
+    most [chunk] per request frame, deals the chunks round-robin over
+    the live workers, and returns [(number of chunks shipped, evaluated
+    points paired with their candidate)].  Failed candidates are absent;
+    a dead worker forfeits only its chunks. *)
+val eval_chunks :
+  t ->
+  chunk:int ->
+  Schedule.t list list ->
+  int * (Schedule.t list * item) list
 
 val shutdown : t -> unit
 
@@ -71,8 +122,12 @@ type hello = {
 
 val tag_hello : int
 val tag_eval : int
+val tag_eval_chunk : int
 val hello_codec : hello Pom_wire.Wire.t
 val request_codec : Schedule.t list Pom_wire.Wire.t
 
 val reply_codec :
   (string * Pom_polyir.Prog.t * Report.t) option Pom_wire.Wire.t
+
+val chunk_request_codec : Schedule.t list list Pom_wire.Wire.t
+val chunk_reply_codec : item option list Pom_wire.Wire.t

@@ -50,6 +50,18 @@ let dep_cache : (string, dep list) Hashtbl.t = Hashtbl.create 256
 
 let dep_cache_lock = Mutex.create ()
 
+let dep_cache_hits = ref 0
+
+let dep_cache_misses = ref 0
+
+(* (hits, misses) since process start; reads under the lock so the pair is
+   consistent even while worker domains are analyzing *)
+let dep_cache_stats () =
+  Mutex.lock dep_cache_lock;
+  let s = (!dep_cache_hits, !dep_cache_misses) in
+  Mutex.unlock dep_cache_lock;
+  s
+
 let analyze_deps_uncached (s : Stmt_poly.t) =
   let domain = ordered_domain s in
   let write, reads = transformed_accesses s in
@@ -72,6 +84,9 @@ let analyze_deps (s : Stmt_poly.t) =
   let key = Format.asprintf "%a" Stmt_poly.pp { s with Stmt_poly.hw = Stmt_poly.no_hw } in
   Mutex.lock dep_cache_lock;
   let cached = Hashtbl.find_opt dep_cache key in
+  (match cached with
+  | Some _ -> incr dep_cache_hits
+  | None -> incr dep_cache_misses);
   Mutex.unlock dep_cache_lock;
   match cached with
   | Some deps -> deps

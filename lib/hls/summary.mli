@@ -48,4 +48,10 @@ val pipeline_level : t -> int option
 val transformed_accesses :
   Stmt_poly.t -> Pom_poly.Dep.access * Pom_poly.Dep.access list
 
+(** Dependence-analysis memo counters since process start as
+    [(hits, misses)] — the cache is keyed on the hardware-stripped
+    statement, so a DSE search that revisits a schedule skeleton with
+    different hardware attributes should hit almost always. *)
+val dep_cache_stats : unit -> int * int
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,229 @@
+(* The chunked work-stealing executor.
+
+   Callers (Stage2's speculative warm, the ScaleHLS ladder prefetch) submit
+   *chunks* — contiguous runs of candidates sharing a schedule skeleton —
+   instead of one task per candidate.  Each worker owns a {!Deque}: it pops
+   its own chunks LIFO and processes them whole; only an idle worker
+   steals, taking the *oldest* (coarsest) chunk from a victim FIFO and
+   splitting it in half — one half processed immediately, the other pushed
+   onto the thief's own deque where it is again stealable.  Granularity is
+   therefore self-balancing: with balanced load nothing is ever split and
+   per-chunk overhead is all there is; under imbalance chunks fission down
+   to single candidates exactly where the idleness is.
+
+   Determinism: the item body [f] must be commutative in its effects (the
+   memo's claim discipline makes concurrent warming commutative), because
+   the steal interleaving is scheduler-dependent.  The executor itself
+   promises only that every item runs exactly once and that the
+   lowest-index exception is re-raised after the run — the same contract as
+   {!Pool.parallel_map}.  The [par:steal-miss] fault site deterministically
+   forces steal attempts to fail (the test harness uses it to prove design
+   identity under adversarial interleavings); [par:chunk] is the
+   deadline/fault hook each chunk passes through, like [pool:task]. *)
+
+type stats = {
+  jobs : int;
+  chunk_size : int;
+  chunks : int;  (* work units after initial re-chunking *)
+  items : int;
+  steals : int;
+  splits : int;
+  worker_items : int array;  (* items processed per worker *)
+}
+
+let zero_stats ~jobs ~chunk_size =
+  {
+    jobs;
+    chunk_size;
+    chunks = 0;
+    items = 0;
+    steals = 0;
+    splits = 0;
+    worker_items = Array.make (max 1 jobs) 0;
+  }
+
+(* Occupancy: mean over workers of (items processed / busiest worker's
+   items) — 1.0 is a perfectly even spread, 1/jobs is one worker doing
+   everything.  Meaningless (1.0) when nothing ran. *)
+let occupancy s =
+  let busiest = Array.fold_left max 0 s.worker_items in
+  if busiest = 0 then 1.0
+  else
+    let sum = Array.fold_left ( + ) 0 s.worker_items in
+    float_of_int sum /. (float_of_int busiest *. float_of_int s.jobs)
+
+let merge a b =
+  {
+    jobs = max a.jobs b.jobs;
+    chunk_size = max a.chunk_size b.chunk_size;
+    chunks = a.chunks + b.chunks;
+    items = a.items + b.items;
+    steals = a.steals + b.steals;
+    splits = a.splits + b.splits;
+    worker_items =
+      (let n = max (Array.length a.worker_items) (Array.length b.worker_items) in
+       Array.init n (fun i ->
+           let get w = if i < Array.length w then w.(i) else 0 in
+           get a.worker_items + get b.worker_items));
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%d chunks (size %d) / %d items on %d workers: %d steals, %d splits, \
+     occupancy %.2f"
+    s.chunks s.chunk_size s.items s.jobs s.steals s.splits (occupancy s)
+
+(* One work unit: a slice of the caller's item array.  [start] is the
+   global item index of [items.(off)] — exception ordering and the
+   per-worker accounting key off it. *)
+type 'a unit_ = { items : 'a array; off : int; len : int; start : int }
+
+let chunk_site = "par:chunk"
+let steal_site = "par:steal-miss"
+
+type 'a ctx = {
+  deques : 'a unit_ Deque.t array;
+  remaining : int Atomic.t;
+  c_steals : int Atomic.t;
+  c_splits : int Atomic.t;
+  per_worker : int array;
+  error : (int * exn * Printexc.raw_backtrace) option ref;
+  error_lock : Mutex.t;
+  body : int -> 'a -> unit;
+}
+
+let record_error ctx idx e bt =
+  Mutex.lock ctx.error_lock;
+  (match !(ctx.error) with
+  | Some (i, _, _) when i <= idx -> ()
+  | _ -> ctx.error := Some (idx, e, bt));
+  Mutex.unlock ctx.error_lock
+
+let process ctx w u =
+  (match
+     Pom_resilience.Budget.check chunk_site;
+     Pom_resilience.Fault.point chunk_site
+   with
+  | () ->
+      for i = 0 to u.len - 1 do
+        let idx = u.start + i in
+        (try ctx.body idx u.items.(u.off + i)
+         with e -> record_error ctx idx e (Printexc.get_raw_backtrace ()));
+        ctx.per_worker.(w) <- ctx.per_worker.(w) + 1;
+        Atomic.decr ctx.remaining
+      done
+  | exception e ->
+      (* a budget/fault hit at the chunk boundary fails the whole chunk:
+         charge its items as settled so the run terminates, and let the
+         lowest-index item carry the exception *)
+      record_error ctx u.start e (Printexc.get_raw_backtrace ());
+      for _ = 1 to u.len do
+        Atomic.decr ctx.remaining
+      done;
+      ctx.per_worker.(w) <- ctx.per_worker.(w) + u.len)
+
+let split_unit u =
+  let keep = (u.len + 1) / 2 in
+  ( { u with len = keep },
+    { u with off = u.off + keep; len = u.len - keep; start = u.start + keep } )
+
+let try_steal ctx w =
+  let jobs = Array.length ctx.deques in
+  let rec scan i =
+    if i >= jobs then None
+    else
+      let v = (w + i) mod jobs in
+      (* the deterministic interleaving fault: an armed [steal-miss] makes
+         this attempt fail as if the thief lost the race *)
+      if Pom_resilience.Fault.poll steal_site then scan (i + 1)
+      else
+        match Deque.steal ctx.deques.(v) with
+        | Some u ->
+            Atomic.incr ctx.c_steals;
+            if u.len > 1 then begin
+              Atomic.incr ctx.c_splits;
+              let mine, back = split_unit u in
+              Deque.push ctx.deques.(w) back;
+              Some mine
+            end
+            else Some u
+        | None -> scan (i + 1)
+  in
+  scan 1
+
+let rec worker_loop ctx w =
+  match Deque.pop ctx.deques.(w) with
+  | Some u ->
+      process ctx w u;
+      worker_loop ctx w
+  | None ->
+      if Atomic.get ctx.remaining > 0 then begin
+        (match try_steal ctx w with
+        | Some u -> process ctx w u
+        | None ->
+            (* every deque is empty but items are still in flight: their
+               owner may split work back into view, so yield briefly and
+               rescan rather than spinning a core *)
+            Unix.sleepf 0.0002);
+        worker_loop ctx w
+      end
+
+(* Re-chunk the caller's groups to at most [chunk_size] items each,
+   preserving item order; global indices number items across all groups in
+   submission order. *)
+let units_of ~chunk_size groups =
+  let units = ref [] and total = ref 0 in
+  List.iter
+    (fun items ->
+      let n = Array.length items in
+      let off = ref 0 in
+      while !off < n do
+        let len = min chunk_size (n - !off) in
+        units :=
+          { items; off = !off; len; start = !total + !off } :: !units;
+        off := !off + len
+      done;
+      total := !total + n)
+    groups;
+  (List.rev !units, !total)
+
+let run ?(jobs = Par_conf.jobs ()) ?(chunk = Par_conf.chunk ()) ~f groups =
+  let jobs = max 1 jobs and chunk_size = max 1 chunk in
+  let units, total = units_of ~chunk_size groups in
+  if total = 0 then zero_stats ~jobs ~chunk_size
+  else begin
+    let jobs = if Pool.in_worker () then 1 else jobs in
+    let ctx =
+      {
+        deques = Array.init jobs (fun _ -> Deque.create ());
+        remaining = Atomic.make total;
+        c_steals = Atomic.make 0;
+        c_splits = Atomic.make 0;
+        per_worker = Array.make jobs 0;
+        error = ref None;
+        error_lock = Mutex.create ();
+        body = f;
+      }
+    in
+    (* initial deal: round-robin whole chunks across the deques *)
+    List.iteri (fun i u -> Deque.push ctx.deques.(i mod jobs) u) units;
+    let workers =
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Pool.as_worker (fun () -> worker_loop ctx (i + 1))))
+    in
+    Pool.as_worker (fun () -> worker_loop ctx 0);
+    List.iter Domain.join workers;
+    (match !(ctx.error) with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    {
+      jobs;
+      chunk_size;
+      chunks = List.length units;
+      items = total;
+      steals = Atomic.get ctx.c_steals;
+      splits = Atomic.get ctx.c_splits;
+      worker_items = ctx.per_worker;
+    }
+  end

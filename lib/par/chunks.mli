@@ -1,0 +1,48 @@
+(** The chunked work-stealing executor.
+
+    Callers submit {e chunks} — contiguous runs of items sharing setup cost
+    (e.g. DSE candidates sharing a schedule skeleton) — instead of one task
+    per item.  Each worker owns a {!Deque}; it pops its own chunks LIFO and
+    processes them whole, and only an idle worker steals: FIFO from a
+    victim, splitting the stolen chunk in half (one half processed, the
+    other pushed onto the thief's deque, stealable again).  Granularity is
+    self-balancing — balanced runs never split; imbalance fissions chunks
+    down to single items exactly where the idleness is.
+
+    The item body must be commutative in its effects (warming a memo is;
+    the steal interleaving is scheduler-dependent).  Every item runs
+    exactly once; if items raise, the exception of the lowest-index item is
+    re-raised after the whole run settles — the {!Pool.parallel_map}
+    contract.  Each chunk passes the [par:chunk] budget/fault site; the
+    [par:steal-miss] fault site deterministically fails steal attempts so
+    tests can force adversarial interleavings. *)
+
+type stats = {
+  jobs : int;
+  chunk_size : int;
+  chunks : int;  (** work units after initial re-chunking *)
+  items : int;
+  steals : int;
+  splits : int;
+  worker_items : int array;  (** items processed per worker *)
+}
+
+val zero_stats : jobs:int -> chunk_size:int -> stats
+
+(** Mean over workers of items processed relative to the busiest worker:
+    1.0 is a perfectly even spread, 1/jobs is one worker doing everything. *)
+val occupancy : stats -> float
+
+(** Accumulate two runs' stats (worker arrays added element-wise). *)
+val merge : stats -> stats -> stats
+
+val pp : Format.formatter -> stats -> unit
+
+(** [run ~jobs ~chunk ~f groups] executes every item of every group.
+    [f idx item] receives the item's global index (numbered across groups
+    in submission order).  Groups are re-chunked to at most [chunk] items
+    (defaults: the {!Par_conf} knobs); each group's items stay contiguous.
+    Runs sequentially when [jobs <= 1] or when called from inside pool
+    work. *)
+val run :
+  ?jobs:int -> ?chunk:int -> f:(int -> 'a -> unit) -> 'a array list -> stats

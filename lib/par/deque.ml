@@ -1,0 +1,71 @@
+(* A mutex-protected double-ended work queue: the owner treats the bottom
+   as a stack (LIFO — the chunk it just deposited is the one with warm
+   locality), thieves take from the top (FIFO — the oldest, coarsest work
+   unit, which is the one worth splitting).  A plain circular buffer under
+   one lock is deliberately boring: chunks are coarse by construction, so
+   the deque is touched a few hundred times per search, far below where a
+   lock-free Chase–Lev deque would earn its subtlety. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable top : int;  (* index of the oldest element (steal side) *)
+  mutable size : int;
+  lock : Mutex.t;
+}
+
+let create () =
+  { buf = Array.make 8 None; top = 0; size = 0; lock = Mutex.create () }
+
+let grow d =
+  let n = Array.length d.buf in
+  let buf = Array.make (2 * n) None in
+  for i = 0 to d.size - 1 do
+    buf.(i) <- d.buf.((d.top + i) mod n)
+  done;
+  d.buf <- buf;
+  d.top <- 0
+
+let push d x =
+  Mutex.lock d.lock;
+  if d.size = Array.length d.buf then grow d;
+  d.buf.((d.top + d.size) mod Array.length d.buf) <- Some x;
+  d.size <- d.size + 1;
+  Mutex.unlock d.lock
+
+let pop d =
+  Mutex.lock d.lock;
+  let r =
+    if d.size = 0 then None
+    else begin
+      let i = (d.top + d.size - 1) mod Array.length d.buf in
+      let x = d.buf.(i) in
+      d.buf.(i) <- None;
+      d.size <- d.size - 1;
+      x
+    end
+  in
+  Mutex.unlock d.lock;
+  r
+
+let steal d =
+  Mutex.lock d.lock;
+  let r =
+    if d.size = 0 then None
+    else begin
+      let x = d.buf.(d.top) in
+      d.buf.(d.top) <- None;
+      d.top <- (d.top + 1) mod Array.length d.buf;
+      d.size <- d.size - 1;
+      x
+    end
+  in
+  Mutex.unlock d.lock;
+  r
+
+let length d =
+  Mutex.lock d.lock;
+  let n = d.size in
+  Mutex.unlock d.lock;
+  n
+
+let is_empty d = length d = 0

@@ -1,0 +1,22 @@
+(** A mutex-protected double-ended work queue with work-stealing
+    semantics: the owner pushes and pops at the bottom (LIFO), thieves
+    steal from the top (FIFO).  Safe from any domain; all operations are
+    O(1) amortized. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Owner side: deposit at the bottom. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner side: take the most recently pushed element (LIFO). *)
+val pop : 'a t -> 'a option
+
+(** Thief side: take the oldest element (FIFO) — the coarsest work unit,
+    the one worth splitting. *)
+val steal : 'a t -> 'a option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

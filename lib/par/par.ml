@@ -1,5 +1,7 @@
 module Pool = Pool
 module Procs = Procs
+module Deque = Deque
+module Chunks = Chunks
 
 type mode = Domains | Procs
 
@@ -19,18 +21,21 @@ let mode_of_string = function
   | "procs" -> Ok Procs
   | s -> Error (Printf.sprintf "unknown jobs mode %S (domains|procs)" s)
 
-let default_jobs = max 1 (Domain.recommended_domain_count ())
+let default_jobs = Par_conf.default_jobs
 
-let budget = Atomic.make default_jobs
+let jobs = Par_conf.jobs
 
-let jobs () = Atomic.get budget
+let set_jobs = Par_conf.set_jobs
 
-let set_jobs n = Atomic.set budget (max 1 n)
+let with_jobs = Par_conf.with_jobs
 
-let with_jobs n f =
-  let saved = jobs () in
-  set_jobs n;
-  Fun.protect ~finally:(fun () -> set_jobs saved) f
+let default_chunk = Par_conf.default_chunk
+
+let chunk = Par_conf.chunk
+
+let set_chunk = Par_conf.set_chunk
+
+let with_chunk = Par_conf.with_chunk
 
 (* The shared pool, sized to the budget in force when it is first needed.
    A budget change tears the old pool down on next use rather than eagerly:

@@ -10,6 +10,8 @@
 
 module Pool = Pool
 module Procs = Procs
+module Deque = Deque
+module Chunks = Chunks
 
 (** Where parallel work runs: [Domains] (the default) fans
     {!map}/{!filter_map} out over the shared domain pool; [Procs] turns
@@ -42,6 +44,19 @@ val set_jobs : int -> unit
 (** [with_jobs n f] runs [f] with the budget set to [n], restoring the
     previous budget afterwards (also on exceptions). *)
 val with_jobs : int -> (unit -> 'a) -> 'a
+
+(** Default target granularity of chunked work units (--chunk). *)
+val default_chunk : int
+
+(** Current chunk-size target for {!Chunks.run}. *)
+val chunk : unit -> int
+
+(** [set_chunk n] clamps [n] to at least 1 and makes it the target chunk
+    size for subsequent chunked runs. *)
+val set_chunk : int -> unit
+
+(** [with_chunk n f] runs [f] under chunk size [n], restoring after. *)
+val with_chunk : int -> (unit -> 'a) -> 'a
 
 (** The shared pool at the current budget, created (or resized) on demand.
     Do not [Pool.shutdown] it; it is reclaimed at process exit. *)

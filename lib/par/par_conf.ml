@@ -1,0 +1,32 @@
+(* Process-wide knobs shared by the executors ({!Pool}, {!Chunks}) and the
+   {!Par} facade — separate from {!Par} so the executors can read them
+   without a dependency cycle. *)
+
+let default_jobs = max 1 (Domain.recommended_domain_count ())
+
+let budget = Atomic.make default_jobs
+
+let jobs () = Atomic.get budget
+
+let set_jobs n = Atomic.set budget (max 1 n)
+
+let with_jobs n f =
+  let saved = jobs () in
+  set_jobs n;
+  Fun.protect ~finally:(fun () -> set_jobs saved) f
+
+(* Target work-unit granularity for the chunked executor (--chunk): big
+   enough that per-chunk overhead amortizes, small enough that the initial
+   deal spreads across workers.  Stealing splits below it on demand. *)
+let default_chunk = 8
+
+let chunk_state = Atomic.make default_chunk
+
+let chunk () = Atomic.get chunk_state
+
+let set_chunk n = Atomic.set chunk_state (max 1 n)
+
+let with_chunk n f =
+  let saved = chunk () in
+  set_chunk n;
+  Fun.protect ~finally:(fun () -> set_chunk saved) f

@@ -6,6 +6,21 @@ type counters = {
   mutable schedule_misses : int;
   mutable report_hits : int;
   mutable report_misses : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+}
+
+(* One candidate's realization plan: everything between the shared schedule
+   skeleton and report synthesis.  Caching it is what makes a speculatively
+   warmed design point a *guaranteed* hit for the sequential replay — the
+   replay recovers the full directive list (including the partition plan,
+   which otherwise requires applying the hardware directives just to compute
+   the report key) and the scheduled pre-partition program by lookup, so a
+   warm point costs two table reads and zero polyhedral work. *)
+type plan = {
+  plan_directives : Pom_dsl.Schedule.t list;  (* base @ hw @ parts *)
+  plan_parts : Pom_dsl.Schedule.t list;
+  plan_prog_hw : Pom_polyir.Prog.t;  (* scheduled, pre-partition *)
 }
 
 (* A table entry is either a settled value or a claim by the domain that is
@@ -25,6 +40,7 @@ type 'v slot = Done of 'v | Inflight of float (* claimed at *)
 type t = {
   schedules : (string, Pom_polyir.Prog.t slot) Hashtbl.t;
   reports : (string, (Pom_polyir.Prog.t * Report.t) slot) Hashtbl.t;
+  plans : (string, plan slot) Hashtbl.t;
   max_entries : int;
   reclaim_after : float;
   lock : Mutex.t;
@@ -37,6 +53,7 @@ let create ?(max_entries = 4096) ?(reclaim_after = 30.0) () =
   {
     schedules = Hashtbl.create 256;
     reports = Hashtbl.create 256;
+    plans = Hashtbl.create 256;
     max_entries;
     reclaim_after;
     lock = Mutex.create ();
@@ -47,6 +64,8 @@ let create ?(max_entries = 4096) ?(reclaim_after = 30.0) () =
         schedule_misses = 0;
         report_hits = 0;
         report_misses = 0;
+        plan_hits = 0;
+        plan_misses = 0;
       };
   }
 
@@ -60,6 +79,8 @@ let snapshot t =
       schedule_misses = t.c.schedule_misses;
       report_hits = t.c.report_hits;
       report_misses = t.c.report_misses;
+      plan_hits = t.c.plan_hits;
+      plan_misses = t.c.plan_misses;
     }
   in
   Mutex.unlock t.lock;
@@ -71,6 +92,7 @@ let clear t =
   Mutex.lock t.lock;
   Hashtbl.reset t.schedules;
   Hashtbl.reset t.reports;
+  Hashtbl.reset t.plans;
   Mutex.unlock t.lock
 
 let set_report_observer t obs =
@@ -192,6 +214,39 @@ let schedule t func directives =
       Pom_polyir.Prog.apply_all
         (Pom_polyir.Prog.of_func_unscheduled func)
         directives)
+
+(* The plan key covers exactly what the plan computation reads: the
+   function, the base-directive prefix, the hardware directives, and the
+   bank cap the partition planner runs under.  Device/composition are
+   absent on purpose — the plan is pre-synthesis. *)
+let plan_key ~base ~hw ~bank_cap func =
+  String.concat "##"
+    [
+      func_key func;
+      directives_key base;
+      directives_key hw;
+      (match bank_cap with None -> "-" | Some n -> string_of_int n);
+    ]
+
+let plan t ~key compute =
+  Pom_resilience.Budget.check "memo:plan";
+  memoize t t.plans key
+    ~hit:(fun c -> c.plan_hits <- c.plan_hits + 1)
+    ~miss:(fun c -> c.plan_misses <- c.plan_misses + 1)
+    compute
+
+(* Merge a worker-computed plan, mirroring {!absorb_report} (minus the
+   observer: plans are never journaled — they are cheap to recompute next
+   to a synthesis and the journal schema stays report-only). *)
+let absorb_plan t ~key value =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.plans key with
+  | Some (Done _) -> ()
+  | _ ->
+      t.c.plan_misses <- t.c.plan_misses + 1;
+      guard_capacity t t.plans;
+      Hashtbl.replace t.plans key (Done value));
+  Mutex.unlock t.lock
 
 let report_key ~composition ~latency_mode ~device ~directives func =
   String.concat "##"

@@ -18,6 +18,20 @@ type counters = {
   mutable schedule_misses : int;
   mutable report_hits : int;
   mutable report_misses : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+}
+
+(** One candidate's realization plan — the work between the shared schedule
+    skeleton and report synthesis: the full directive list (base, hardware,
+    and the derived partition plan) plus the scheduled pre-partition
+    program.  Caching it makes a speculatively warmed design point a
+    guaranteed hit for the sequential replay: recovering the report key no
+    longer requires re-applying the hardware directives. *)
+type plan = {
+  plan_directives : Schedule.t list;  (** base @ hw @ parts *)
+  plan_parts : Schedule.t list;
+  plan_prog_hw : Pom_polyir.Prog.t;  (** scheduled, pre-partition *)
 }
 
 type t
@@ -63,6 +77,25 @@ val synthesize :
   Pom_polyir.Prog.t * Pom_hls.Report.t
 
 val clear : t -> unit
+
+(** The plan-memo key for one candidate: function, base prefix, hardware
+    directives, and the partition planner's bank cap. *)
+val plan_key :
+  base:Schedule.t list ->
+  hw:Schedule.t list ->
+  bank_cap:int option ->
+  Func.t ->
+  string
+
+(** [plan cache ~key compute] memoizes one realization plan with the same
+    claim/settle discipline as the other tables (concurrent requesters of
+    one key cost a single miss). *)
+val plan : t -> key:string -> (unit -> plan) -> plan
+
+(** Merge a plan computed outside this process (a worker's reply): counts a
+    plan miss when fresh, silent no-op when [key] is already settled.
+    Plans are never journaled. *)
+val absorb_plan : t -> key:string -> plan -> unit
 
 (** The report-memo key for one design point — the key the checkpoint
     journal records, stable across processes (a structural fingerprint, no

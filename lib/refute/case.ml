@@ -55,12 +55,17 @@ let box_points p =
   (* build innermost-last so the result is lexicographic in dim order *)
   List.sort compare (go (List.length p.dims))
 
-type t = Poly of poly | Semantic of Pom_dsl.Func.t | Degrade of Pom_dsl.Func.t
+type t =
+  | Poly of poly
+  | Semantic of Pom_dsl.Func.t
+  | Degrade of Pom_dsl.Func.t
+  | Qor of Pom_dsl.Func.t
 
 let family = function
   | Poly _ -> "poly"
   | Semantic _ -> "semantic"
   | Degrade _ -> "degrade"
+  | Qor _ -> "qor"
 
 module W = Pom_wire.Wire
 
@@ -84,6 +89,9 @@ let codec =
       W.case 3 "degrade" Pom_dsl.Wirec.func
         (fun f -> Degrade f)
         (function Degrade f -> Some f | _ -> None);
+      W.case 4 "qor" Pom_dsl.Wirec.func
+        (fun f -> Qor f)
+        (function Qor f -> Some f | _ -> None);
     ]
 
 let id t =
@@ -96,5 +104,6 @@ let pp ppf = function
         (set_of_poly p) p.lo p.hi
   | Semantic f -> Format.fprintf ppf "@[<hv 2>semantic@ %a@]" Pom_dsl.Func.pp f
   | Degrade f -> Format.fprintf ppf "@[<hv 2>degrade@ %a@]" Pom_dsl.Func.pp f
+  | Qor f -> Format.fprintf ppf "@[<hv 2>qor@ %a@]" Pom_dsl.Func.pp f
 
 let to_string t = Format.asprintf "%a" pp t

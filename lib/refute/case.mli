@@ -42,6 +42,9 @@ type t =
       (** cross-check legality verdicts against observed execution *)
   | Degrade of Pom_dsl.Func.t
       (** replay the legality search under budgets and injected faults *)
+  | Qor of Pom_dsl.Func.t
+      (** cross-check QoR-model group latencies against
+          {!Pom_sim.Cycles} operational lower bounds *)
 
 val family : t -> string
 

@@ -1,19 +1,22 @@
 module Budget = Pom_resilience.Budget
 
-type family = [ `Poly | `Semantic | `Degrade ]
+type family = [ `Poly | `Semantic | `Degrade | `Qor ]
 
 let family_name = function
   | `Poly -> "poly"
   | `Semantic -> "semantic"
   | `Degrade -> "degrade"
+  | `Qor -> "qor"
 
 let family_of_string = function
   | "poly" -> Ok `Poly
   | "semantic" -> Ok `Semantic
   | "degrade" -> Ok `Degrade
-  | s -> Error (Printf.sprintf "unknown family %S (poly|semantic|degrade)" s)
+  | "qor" -> Ok `Qor
+  | s ->
+      Error (Printf.sprintf "unknown family %S (poly|semantic|degrade|qor)" s)
 
-let all_families = [ `Poly; `Semantic; `Degrade ]
+let all_families = [ `Poly; `Semantic; `Degrade; `Qor ]
 
 type finding = {
   case : Case.t;
@@ -63,6 +66,10 @@ let generator = function
       (* degradation cases want schedules that actually apply, so keep the
          directive surface identical to the semantic family *)
       QCheck.Gen.map (fun f -> Case.Degrade f) (Gen.func ())
+  | `Qor ->
+      (* the QoR bounds want schedules that actually synthesize, which is
+         the same surface the semantic family explores *)
+      QCheck.Gen.map (fun f -> Case.Qor f) (Gen.func ())
 
 let run ?(seed = 0) ?(cases = 1000) ?(on_finding = fun _ -> ()) family =
   let t0 = Unix.gettimeofday () in

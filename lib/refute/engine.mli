@@ -7,7 +7,7 @@
     the statistics cover the cases actually run, and counterexamples found
     before expiry are kept). *)
 
-type family = [ `Poly | `Semantic | `Degrade ]
+type family = [ `Poly | `Semantic | `Degrade | `Qor ]
 
 val family_of_string : string -> (family, string) result
 

@@ -371,3 +371,4 @@ let shrink_case = function
   | Case.Poly p -> List.map (fun p -> Case.Poly p) (shrink_poly p)
   | Case.Semantic f -> List.map (fun f -> Case.Semantic f) (shrink_func f)
   | Case.Degrade f -> List.map (fun f -> Case.Degrade f) (shrink_func f)
+  | Case.Qor f -> List.map (fun f -> Case.Qor f) (shrink_func f)

@@ -352,7 +352,77 @@ let check_degrade f =
       in
       List.fold_left check_one Pass combos
 
+(* ---------- QoR oracle ---------- *)
+
+(* The QoR model is a predictor, so it cannot be differenced against an
+   exact truth — but it can be refuted against operational lower bounds:
+   no schedule the backend could emit finishes a group in fewer cycles
+   than its distinct serial steps, or than its busiest memory bank can
+   move the group's data through two ports.  A model latency below either
+   bound is optimistic fiction (POM406).  The dependence-chain bound
+   additionally assumes the model doesn't re-associate reductions, so a
+   violation there is only a precision signal. *)
+let check_qor f =
+  let loc = [ "refute"; "qor" ] in
+  let device = Pom_hls.Device.xc7z020 in
+  match
+    let prog = Pom_polyir.Prog.of_func f in
+    let report = Pom_hls.Report.synthesize ~device prog in
+    let report' = Pom_hls.Report.synthesize ~device prog in
+    `Built (prog, report, report')
+  with
+  | exception Pom_polyir.Transform.Transform_error msg ->
+      Skip (Printf.sprintf "transform rejected: %s" msg)
+  | exception Pom_poly.Ast_build.Schedule_error msg ->
+      Skip (Printf.sprintf "lowering rejected: %s" msg)
+  | exception Invalid_argument msg ->
+      Skip (Printf.sprintf "invalid case: %s" msg)
+  | `Built (prog, report, report') ->
+      if report <> report' then
+        fail ~code:"POM406" ~loc
+          "synthesizing the same program twice gave different reports"
+          ~note:"the QoR model must be a pure function of the program"
+      else (
+        match Pom_sim.Cycles.of_prog prog with
+        | None -> Skip "iteration domain too large to enumerate"
+        | Some bounds ->
+            let latency_of g =
+              List.assoc_opt g report.Pom_hls.Report.group_latencies
+            in
+            let check_group acc (b : Pom_sim.Cycles.bounds) =
+              match (acc, latency_of b.Pom_sim.Cycles.group) with
+              | Fail _, _ | _, None -> acc
+              | _, Some cycles ->
+                  if cycles < b.Pom_sim.Cycles.serial_bound then
+                    fail ~code:"POM406" ~loc
+                      (Printf.sprintf
+                         "group %d: model latency %d below the serial bound \
+                          %d"
+                         b.Pom_sim.Cycles.group cycles
+                         b.Pom_sim.Cycles.serial_bound)
+                      ~note:
+                        (Format.asprintf "%a" Pom_sim.Cycles.pp b)
+                  else if cycles < b.Pom_sim.Cycles.port_bound then
+                    fail ~code:"POM406" ~loc
+                      (Printf.sprintf
+                         "group %d: model latency %d below the port bound %d"
+                         b.Pom_sim.Cycles.group cycles
+                         b.Pom_sim.Cycles.port_bound)
+                      ~note:
+                        (Format.asprintf "%a" Pom_sim.Cycles.pp b)
+                  else if cycles < b.Pom_sim.Cycles.chain_bound then
+                    Precision
+                      (Printf.sprintf
+                         "group %d: model latency %d below the dependence \
+                          chain bound %d"
+                         b.Pom_sim.Cycles.group cycles
+                         b.Pom_sim.Cycles.chain_bound)
+                  else acc
+            in
+            List.fold_left check_group Pass bounds)
+
 let check = function
   | Case.Poly p -> check_poly p
   | Case.Semantic f -> check_semantic f
   | Case.Degrade f -> check_degrade f
+  | Case.Qor f -> check_qor f

@@ -12,7 +12,11 @@
       does not diverge is only a precision miss;
     - {b degrade}: the POM30x degradation contract — faults injected at
       analysis-only sites must never change the produced design, only the
-      diagnostics. *)
+      diagnostics;
+    - {b qor}: the QoR model's group latencies against
+      {!Pom_sim.Cycles} operational lower bounds (distinct serial steps,
+      bank port pressure) — a model latency below a bound no schedule can
+      beat is optimistic fiction, and synthesis must be deterministic. *)
 
 type verdict =
   | Pass
@@ -30,14 +34,17 @@ val is_fail : verdict -> bool
 (** Diagnostic codes emitted on failure: [POM401] polyhedral oracle
     mismatch, [POM402] legality soundness counterexample, [POM403]
     accepted schedule crashed the simulator, [POM404] degradation contract
-    violated. [POM405] is the hint code used by reports for precision
-    misses. *)
+    violated, [POM406] QoR model below an operational lower bound (or
+    nondeterministic). [POM405] is the hint code used by reports for
+    precision misses. *)
 
 val check_poly : Case.poly -> verdict
 
 val check_semantic : Pom_dsl.Func.t -> verdict
 
 val check_degrade : Pom_dsl.Func.t -> verdict
+
+val check_qor : Pom_dsl.Func.t -> verdict
 
 (** Dispatch on the case family. *)
 val check : Case.t -> verdict

@@ -1,0 +1,44 @@
+(** Operational cycle-count lower bounds, computed by brute-force
+    enumeration of statement instances — the ground truth the QoR model's
+    group latencies are refuted against.
+
+    For each fusion group (statements sharing the leading scalar schedule
+    constant) three bounds are derived from first principles, each sound
+    for {e any} schedule the backend could emit for the scheduled program:
+
+    - {b serial}: the number of distinct serial steps — instance
+      coordinates with unrolled dimensions collapsed by their factor.
+      Every step costs at least one cycle (any achieved II is >= 1).
+    - {b port}: distinct array elements the group reads plus distinct
+      elements it writes, mapped to banks under the program's partition
+      directives, at most two port operations per bank per cycle.  Taken
+      as the minimum over a cyclic and a block interpretation of the
+      banking so it stays sound whichever convention the model uses, and
+      conceding perfect reuse (each element charged once).
+    - {b chain}: the longest same-element dependence chain (RAW/WAR/WAW)
+      through a single statement's instances, one cycle per link, edges
+      within one serial step skipped (parallel unroll copies).  This one
+      assumes the model doesn't rewrite the reduction structure, so
+      violations are advisory rather than refutations.
+
+    A model group latency below the serial or port bound is a genuine QoR
+    bug; below the chain bound is a precision concern. *)
+
+type bounds = {
+  group : int;  (** leading scalar schedule constant (fusion group) *)
+  stmts : string list;  (** member statement names *)
+  instances : int;  (** enumerated instances across members *)
+  serial_bound : int;
+  port_bound : int;
+  chain_bound : int;
+}
+
+val default_cap : int
+
+(** [of_prog ?cap prog] enumerates every statement's iteration domain (in
+    schedule order) and derives per-group bounds; [None] when any
+    statement exceeds [cap] instances (default {!default_cap}) or has an
+    unbounded domain — callers should skip, not fail. *)
+val of_prog : ?cap:int -> Pom_polyir.Prog.t -> bounds list option
+
+val pp : Format.formatter -> bounds -> unit

@@ -74,6 +74,83 @@ let test_par_facade_budget () =
         "sequential path" [ 1; 4; 9 ]
         (Par.map (fun x -> x * x) [ 1; 2; 3 ]))
 
+(* -------- the work-stealing deque -------- *)
+
+let test_deque_semantics () =
+  let module Deque = Pom.Par.Deque in
+  let d = Deque.create () in
+  Alcotest.(check bool) "fresh deque is empty" true (Deque.is_empty d);
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check int) "length counts pushes" 3 (Deque.length d);
+  Alcotest.(check (option int)) "owner pops LIFO" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "thief steals FIFO" (Some 1) (Deque.steal d);
+  Alcotest.(check (option int))
+    "last element reachable from either end" (Some 2) (Deque.steal d);
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal d);
+  Alcotest.(check bool) "drained deque is empty" true (Deque.is_empty d)
+
+(* -------- the chunked executor -------- *)
+
+(* Force the split-on-idle path deterministically: worker 0's own deque
+   holds (bottom to top) a 4-item chunk and a blocker chunk.  LIFO pop
+   hands worker 0 the blocker, which waits until all four items are done —
+   and the only way they can run is for the idle worker to steal the
+   4-item chunk FIFO, which (len > 1) must split it.  Every interleaving
+   of the two workers reaches the same conclusion, so the assertions below
+   are race-free. *)
+let test_chunks_split_on_idle () =
+  let module Chunks = Pom.Par.Chunks in
+  let done_w = Atomic.make 0 in
+  let f _idx = function
+    | `W -> Atomic.incr done_w
+    | `Fast -> ()
+    | `Block ->
+        let t0 = Unix.gettimeofday () in
+        while Atomic.get done_w < 4 do
+          if Unix.gettimeofday () -. t0 > 10.0 then
+            failwith "split-on-idle watchdog expired";
+          Unix.sleepf 0.0001
+        done
+  in
+  let stats =
+    Chunks.run ~jobs:2 ~chunk:4 ~f
+      [ Array.make 4 `W; [| `Fast |]; [| `Block |] ]
+  in
+  Alcotest.(check int) "every item ran" 6 stats.Chunks.items;
+  Alcotest.(check int) "three chunks after re-chunking" 3 stats.Chunks.chunks;
+  Alcotest.(check bool) "the idle worker stole" true (stats.Chunks.steals >= 1);
+  Alcotest.(check bool)
+    "the stolen multi-item chunk split" true
+    (stats.Chunks.splits >= 1);
+  Alcotest.(check int) "per-worker accounting sums to the total" 6
+    (Array.fold_left ( + ) 0 stats.Chunks.worker_items)
+
+let test_chunks_exception_lowest_index () =
+  Alcotest.check_raises "the lowest-index item's exception surfaces"
+    (Failure "boom 7") (fun () ->
+      ignore
+        (Pom.Par.Chunks.run ~jobs:4 ~chunk:1
+           ~f:(fun idx () ->
+             if idx = 7 || idx = 13 then failwith (Printf.sprintf "boom %d" idx))
+           [ Array.make 20 () ]))
+
+let test_chunks_exactly_once_when_jobs_one () =
+  let seen = ref [] in
+  let stats =
+    Pom.Par.Chunks.run ~jobs:1 ~chunk:3
+      ~f:(fun idx () -> seen := idx :: !seen)
+      [ Array.make 7 () ]
+  in
+  (* chunk order is deque (LIFO) order even at jobs=1 — the contract is
+     exactly-once with commutative effects, not submission order *)
+  Alcotest.(check (list int))
+    "every item runs exactly once"
+    (List.init 7 Fun.id)
+    (List.sort compare !seen);
+  Alcotest.(check int) "no steals" 0 stats.Pom.Par.Chunks.steals;
+  Alcotest.(check int) "no splits" 0 stats.Pom.Par.Chunks.splits
+
 (* -------- the memo under concurrent requests -------- *)
 
 let test_memo_single_miss_under_concurrency () =
@@ -133,6 +210,69 @@ let check_identical_design name build =
 let test_engine_deterministic_gemm () =
   check_identical_design "gemm 512" (Polybench.gemm 512)
 
+(* The executor promises design identity under *any* steal interleaving.
+   The [par:steal-miss] fault site lets us pick adversarial ones
+   deterministically: each armed visit makes one steal attempt fail as if
+   the thief lost the race, shifting every subsequent interleaving. *)
+let test_steal_interleavings_deterministic () =
+  let func = Polybench.gemm 512 in
+  let baseline =
+    (Pom.Dse.Engine.run ~cache:(Memo.create ()) ~jobs:1 func).Pom.Dse.Engine
+      .result
+  in
+  Fun.protect ~finally:Pom.Resilience.Fault.reset @@ fun () ->
+  List.iter
+    (fun n ->
+      Pom.Resilience.Fault.configure
+        (Printf.sprintf "par:steal-miss=fail@%d" n);
+      let r =
+        (Pom.Dse.Engine.run ~cache:(Memo.create ()) ~jobs:4 func).Pom.Dse
+          .Engine.result
+      in
+      let tag = Printf.sprintf "steal-miss@%d" n in
+      Alcotest.(check (list string))
+        (tag ^ ": identical directives") (directive_strings baseline)
+        (directive_strings r);
+      Alcotest.(check bool)
+        (tag ^ ": identical report") true
+        (r.Pom.Dse.Stage2.report = baseline.Pom.Dse.Stage2.report))
+    [ 1; 2; 5; 9 ]
+
+(* The speculative warm must make its design points guaranteed hits for
+   the sequential replay: a parallel run on a fresh memo therefore shows
+   plan and report hits (the replay finding the warm's entries), never a
+   silent second synthesis of the same point. *)
+let test_warm_populates_memo () =
+  let cache = Memo.create () in
+  ignore (Pom.Dse.Engine.run ~cache ~jobs:4 (Polybench.gemm 512));
+  let c = Memo.counters cache in
+  Alcotest.(check bool)
+    "the replay hit warmed plans" true (c.Memo.plan_hits > 0);
+  Alcotest.(check bool)
+    "the replay hit warmed reports" true (c.Memo.report_hits > 0)
+
+(* The projection cache is an optimization, not an approximation: with it
+   disabled the engine must pick the bit-identical design. *)
+let test_projcache_bit_identity () =
+  let func = Polybench.bicg 512 in
+  let fast =
+    (Pom.Dse.Engine.run ~cache:(Memo.create ()) ~jobs:1 func).Pom.Dse.Engine
+      .result
+  in
+  let slow =
+    Pom.Poly.Projcache.with_enabled false (fun () ->
+        (Pom.Dse.Engine.run ~cache:(Memo.create ()) ~jobs:1 func).Pom.Dse
+          .Engine.result)
+  in
+  Alcotest.(check (list string))
+    "identical directives" (directive_strings slow) (directive_strings fast);
+  Alcotest.(check bool)
+    "identical tile vectors" true
+    (slow.Pom.Dse.Stage2.tile_vectors = fast.Pom.Dse.Stage2.tile_vectors);
+  Alcotest.(check bool)
+    "identical report" true
+    (slow.Pom.Dse.Stage2.report = fast.Pom.Dse.Stage2.report)
+
 let test_engine_deterministic_bicg () =
   check_identical_design "bicg 512" (Polybench.bicg 512)
 
@@ -180,6 +320,16 @@ let () =
             test_filter_map_ordering;
           Alcotest.test_case "Par facade budget" `Quick test_par_facade_budget;
         ] );
+      ( "deque",
+        [ Alcotest.test_case "LIFO owner, FIFO thief" `Quick test_deque_semantics ] );
+      ( "chunks",
+        [
+          Alcotest.test_case "split on idle" `Quick test_chunks_split_on_idle;
+          Alcotest.test_case "lowest-index exception" `Quick
+            test_chunks_exception_lowest_index;
+          Alcotest.test_case "exactly once at jobs=1" `Quick
+            test_chunks_exactly_once_when_jobs_one;
+        ] );
       ( "memo",
         [
           Alcotest.test_case "single miss under concurrency" `Quick
@@ -193,5 +343,11 @@ let () =
             test_engine_deterministic_bicg;
           Alcotest.test_case "scalehls 2mm 256, jobs 1 = jobs 4" `Slow
             test_scalehls_deterministic;
+          Alcotest.test_case "gemm 512 under forced steal misses" `Slow
+            test_steal_interleavings_deterministic;
+          Alcotest.test_case "warm populates the memo" `Slow
+            test_warm_populates_memo;
+          Alcotest.test_case "projection cache is bit-identical" `Slow
+            test_projcache_bit_identity;
         ] );
     ]

@@ -31,18 +31,54 @@ let historical_inexact =
       Constr.Ge (Linexpr.add (Linexpr.neg (v "i")) (Linexpr.term 3 "k"));
     ]
 
+(* the shape that refuted the first draft of the cycle-bound simulator:
+   pipelining the outermost level fully unrolls everything beneath it, so
+   a bound that still counts the inner iterations as serial steps sits
+   above the (correct) model latency.  Pinned so the concession is never
+   lost: the oracle must keep accepting this program. *)
+let qor_pipeline_full_unroll =
+  let module Dsl = Pom.Dsl in
+  let f = Dsl.Func.create "refute" in
+  let a = Dsl.Placeholder.make "A" [ 8; 8 ] Dsl.Dtype.p_float32
+  and cc = Dsl.Placeholder.make "C" [ 8; 8 ] Dsl.Dtype.p_float32 in
+  let iters =
+    [ Dsl.Var.make "i" 0 4; Dsl.Var.make "j" 0 4; Dsl.Var.make "k" 0 4 ]
+  in
+  ignore
+    (Dsl.Func.compute f "s0" ~iters
+       ~body:(Dsl.Expr.access cc [ Dsl.Expr.ix_name "i"; Dsl.Expr.ix_name "j" ])
+       ~dest:(a, [ Dsl.Expr.ix_name "k"; Dsl.Expr.ix_name "i" ])
+       ());
+  Dsl.Func.schedule f (Dsl.Schedule.pipeline "s0" "i" 1);
+  f
+
 (* pinned corpus: the historical counterexample plus deterministic
-   generator output, one per family *)
+   generator output, one per family.
+
+   The draws are sequenced with explicit lets because list literals
+   evaluate right to left: drawing inside the literal would silently
+   reshuffle every earlier pinned case each time a family is appended.
+   The let order below reproduces the evaluation order the corpus was
+   originally blessed under (last list element first); new families must
+   add their draws at the END of the let chain. *)
 let pinned_cases () =
   let rand = Random.State.make [| 2024; 0xb1e55 |] in
   let g gen = QCheck.Gen.generate1 ~rand gen in
+  let d1 = g (Refute.Gen.func ()) in
+  let s2 = g (Refute.Gen.func ()) in
+  let s1 = g (Refute.Gen.func ()) in
+  let p3 = g (Refute.Gen.poly ()) in
+  let p2 = g (Refute.Gen.poly ()) in
+  let q1 = g (Refute.Gen.func ()) in
   [
     Case.Poly historical_inexact;
-    Case.Poly (g (Refute.Gen.poly ()));
-    Case.Poly (g (Refute.Gen.poly ()));
-    Case.Semantic (g (Refute.Gen.func ()));
-    Case.Semantic (g (Refute.Gen.func ()));
-    Case.Degrade (g (Refute.Gen.func ()));
+    Case.Poly p2;
+    Case.Poly p3;
+    Case.Semantic s1;
+    Case.Semantic s2;
+    Case.Degrade d1;
+    Case.Qor qor_pipeline_full_unroll;
+    Case.Qor q1;
   ]
 
 let corpus_dir = "refute-corpus"
@@ -72,7 +108,7 @@ let test_bless_or_check_corpus () =
 
 let test_corpus_replay () =
   let results = Engine.replay corpus_dir in
-  Alcotest.(check bool) "corpus is non-empty" true (List.length results >= 6);
+  Alcotest.(check bool) "corpus is non-empty" true (List.length results >= 8);
   List.iter
     (fun (path, _, verdict) ->
       match verdict with
@@ -176,6 +212,53 @@ let test_engine_degrade_clean () =
        (fun (f : Engine.finding) -> f.Engine.diag.Pom.Analysis.Diagnostic.code)
        s.Engine.findings)
 
+let test_engine_qor_clean () =
+  let s = Engine.run ~seed:7 ~cases:150 `Qor in
+  Alcotest.(check int) "all cases ran" 150 s.Engine.cases;
+  Alcotest.(check (list string)) "no counterexamples" []
+    (List.map
+       (fun (f : Engine.finding) -> f.Engine.diag.Pom.Analysis.Diagnostic.code)
+       s.Engine.findings)
+
+let test_qor_bounds_sane () =
+  (* a 4x4x4 nest with j unrolled by 2: the serial bound must count
+     4 * 2 * 4 = 32 steps, and the synthesized latency must sit on or
+     above every bound (the oracle passes) *)
+  let module Dsl = Pom.Dsl in
+  let f = Dsl.Func.create "refute" in
+  let a = Dsl.Placeholder.make "A" [ 8; 8 ] Dsl.Dtype.p_float32
+  and b = Dsl.Placeholder.make "B" [ 8; 8 ] Dsl.Dtype.p_float32 in
+  let iters =
+    [ Dsl.Var.make "i" 0 4; Dsl.Var.make "j" 0 4; Dsl.Var.make "k" 0 4 ]
+  in
+  ignore
+    (Dsl.Func.compute f "s0" ~iters
+       ~body:(Dsl.Expr.access b [ Dsl.Expr.ix_name "j"; Dsl.Expr.ix_name "k" ])
+       ~dest:(a, [ Dsl.Expr.ix_name "i"; Dsl.Expr.ix_name "j" ])
+       ());
+  Dsl.Func.schedule f (Dsl.Schedule.unroll "s0" "j" 2);
+  let prog = Pom.Polyir.Prog.of_func f in
+  (match Pom.Sim.Cycles.of_prog prog with
+  | None -> Alcotest.fail "64-instance nest should enumerate"
+  | Some [ bounds ] ->
+      Alcotest.(check int) "instances" 64 bounds.Pom.Sim.Cycles.instances;
+      Alcotest.(check int) "serial bound" 32 bounds.Pom.Sim.Cycles.serial_bound;
+      (* busiest bank: 16 distinct elements of unpartitioned A (or B)
+         through two ports *)
+      Alcotest.(check int) "port bound" 8 bounds.Pom.Sim.Cycles.port_bound
+  | Some l -> Alcotest.failf "expected one group, got %d" (List.length l));
+  (match Oracle.check_qor f with
+  | Oracle.Pass -> ()
+  | verdict ->
+      Alcotest.failf "model should respect its own bounds: %a"
+        Oracle.pp_verdict verdict);
+  (* the pinned full-unroll-under-pipeline shape must stay accepted *)
+  match Oracle.check_qor qor_pipeline_full_unroll with
+  | Oracle.Pass -> ()
+  | verdict ->
+      Alcotest.failf "pipeline concession regressed: %a" Oracle.pp_verdict
+        verdict
+
 let test_engine_budget_stops () =
   (* an already-exhausted budget must stop the engine at the first case
      boundary, cleanly and with the exhausted flag *)
@@ -254,6 +337,8 @@ let () =
             test_engine_semantic_clean;
           Alcotest.test_case "degrade family clean" `Quick
             test_engine_degrade_clean;
+          Alcotest.test_case "qor family clean" `Quick test_engine_qor_clean;
+          Alcotest.test_case "qor bounds sane" `Quick test_qor_bounds_sane;
           Alcotest.test_case "budget stops the search" `Quick
             test_engine_budget_stops;
           Alcotest.test_case "shrink candidates are smaller" `Quick
