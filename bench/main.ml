@@ -38,6 +38,7 @@ let experiments =
     ("generality", Bench_generality.run);
     ("devices", Bench_devices.run);
     ("refute", Bench_refute.run);
+    ("serve", Bench_serve.run);
   ]
 
 (* one bechamel Test per table/figure, timing the dominant toolchain path

@@ -63,6 +63,120 @@ let report_parse_error path ~line ~col ~token message =
    with _ -> ());
   exit 1
 
+(* Usage-error contract: a nonsensical numeric option is rejected up
+   front with exit code 1, not silently clamped or passed through to
+   hang a worker pool or divide by zero deep in a pass. *)
+let require_positive_int name v =
+  if v <= 0 then begin
+    Printf.eprintf "error: %s must be a positive integer (got %d)\n" name v;
+    exit 1
+  end
+
+let require_positive_float name v =
+  if not (v > 0.0) then begin
+    Printf.eprintf "error: %s must be positive (got %g)\n" name v;
+    exit 1
+  end
+
+let pp_served ppf (r : Pom_server.Protocol.response) =
+  match r.Pom_server.Protocol.served with
+  | Pom_server.Protocol.Cached ->
+      Format.fprintf ppf "cached (server wall %.3f s)"
+        r.Pom_server.Protocol.wall_s
+  | Pom_server.Protocol.Computed ->
+      let m = r.Pom_server.Protocol.memo in
+      Format.fprintf ppf
+        "computed (server wall %.3f s; memo hits: schedule %d/%d, report \
+         %d/%d, plan %d/%d)"
+        r.Pom_server.Protocol.wall_s m.Pom_server.Protocol.schedule_hits
+        (m.Pom_server.Protocol.schedule_hits
+        + m.Pom_server.Protocol.schedule_misses)
+        m.Pom_server.Protocol.report_hits
+        (m.Pom_server.Protocol.report_hits
+        + m.Pom_server.Protocol.report_misses)
+        m.Pom_server.Protocol.plan_hits
+        (m.Pom_server.Protocol.plan_hits + m.Pom_server.Protocol.plan_misses)
+
+(* --connect: ship the scheduled function to a --serve daemon and print
+   the wire-returned artifact in the local report shape. *)
+let run_remote ~socket ~device ~fw ~dnn ~deadline ~use_cache ~trace ~emit_c
+    ~workload ~size ~framework func =
+  let req =
+    Pom_server.Client.request ~device ~framework:fw ~dnn ?deadline_s:deadline
+      ~use_cache ~client:"pom_compile" func
+  in
+  match Pom_server.Client.compile ~socket req with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot connect to %s: %s\n" socket
+        (Unix.error_message e);
+      1
+  | exception End_of_file ->
+      prerr_endline "error: server closed the connection without a response";
+      3
+  | exception Pom_wire.Wire.Corrupt { detail; _ } ->
+      Printf.eprintf "error [POM308]: corrupt response: %s\n" detail;
+      3
+  | exception Pom_wire.Wire.Version_mismatch { expected; got; _ } ->
+      Printf.eprintf
+        "error [POM309]: server speaks protocol version %d, this client \
+         expects %d\n"
+        got expected;
+      3
+  | resp -> (
+      match resp.Pom_server.Protocol.outcome with
+      | Error e ->
+          Format.eprintf "error [%s]: %s%s@." e.Pom_server.Protocol.code
+            e.Pom_server.Protocol.message
+            (match e.Pom_server.Protocol.context with
+            | [] -> ""
+            | ctx -> " (" ^ String.concat " < " ctx ^ ")");
+          3
+      | Ok r ->
+          Format.printf "workload:    %s (size %d)@." workload size;
+          Format.printf "framework:   %s@." framework;
+          Format.printf "served:      %a@." pp_served resp;
+          Format.printf "report:      %a@." Pom.Hls.Report.pp
+            r.Pom_server.Protocol.report;
+          Format.printf "speedup:     %.1fx over unoptimized (%d cycles)@."
+            r.Pom_server.Protocol.speedup
+            r.Pom_server.Protocol.baseline_latency;
+          if r.Pom_server.Protocol.dse_time_s > 0.0 then
+            Format.printf "DSE time:    %.2f s@."
+              r.Pom_server.Protocol.dse_time_s;
+          List.iter
+            (fun (name, v) ->
+              Format.printf "tiles %-10s [%s]@." name
+                (String.concat ", " (List.map string_of_int v)))
+            r.Pom_server.Protocol.tile_vectors;
+          if trace then
+            List.iter
+              (Format.printf "trace:       %s@.")
+              r.Pom_server.Protocol.trace;
+          if emit_c then begin
+            print_newline ();
+            print_string r.Pom_server.Protocol.hls_c
+          end;
+          if r.Pom_server.Protocol.legality_violations > 0 then begin
+            Format.eprintf
+              "legality:    %d reversed dependences — the schedule is \
+               illegal@."
+              r.Pom_server.Protocol.legality_violations;
+            2
+          end
+          else 0)
+
+let print_server_stats (s : Pom_server.Protocol.server_stats) =
+  Format.printf
+    "server:      %d requests (%d ok, %d failed, %d rejected)@.\
+     cache:       %d hits / %d misses (%d entries)@.\
+     queue:       %d deep@.\
+     uptime:      %.1f s@."
+    s.Pom_server.Protocol.requests s.Pom_server.Protocol.succeeded
+    s.Pom_server.Protocol.failed s.Pom_server.Protocol.rejected
+    s.Pom_server.Protocol.cache_hits s.Pom_server.Protocol.cache_misses
+    s.Pom_server.Protocol.cache_entries s.Pom_server.Protocol.queue_depth
+    s.Pom_server.Protocol.uptime_s
+
 let framework_of_string = function
   | "baseline" -> Ok `Baseline
   | "pluto" -> Ok `Pluto
@@ -75,7 +189,14 @@ let framework_of_string = function
 let run workload from_c size framework schedules lint werror emit_c emit_mlir
     emit_testbench validate check_legality timeline trace timing dump_after
     verify_each resource_frac jobs jobs_mode chunk _worker deadline on_error
-    checkpoint inject list_workloads =
+    checkpoint inject list_workloads serve connect queue no_request_cache
+    stop_socket stats_socket =
+  require_positive_int "--jobs" jobs;
+  require_positive_int "--chunk" chunk;
+  require_positive_int "--size" size;
+  require_positive_int "--queue" queue;
+  Option.iter (require_positive_float "--deadline") deadline;
+  require_positive_float "--resource-fraction" resource_frac;
   Pom.Par.set_jobs jobs;
   Pom.Par.set_chunk chunk;
   (match Pom.Par.mode_of_string jobs_mode with
@@ -102,6 +223,28 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
     0
   end
   else
+    match (serve, stop_socket, stats_socket) with
+    | Some socket, _, _ ->
+        Pom_server.Server.run ~max_queue:queue ~jobs ~socket ()
+    | None, Some socket, _ -> (
+        match Pom_server.Client.shutdown ~socket with
+        | s ->
+            print_server_stats s;
+            0
+        | exception Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "error: cannot connect to %s: %s\n" socket
+              (Unix.error_message e);
+            1)
+    | None, None, Some socket -> (
+        match Pom_server.Client.stats ~socket with
+        | s ->
+            print_server_stats s;
+            0
+        | exception Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "error: cannot connect to %s: %s\n" socket
+              (Unix.error_message e);
+            1)
+    | None, None, None ->
     let named_builder =
       match from_c with
       | Some path -> (
@@ -142,6 +285,12 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
             | exception Failure m ->
                 prerr_endline m;
                 exit 1);
+            match connect with
+            | Some socket ->
+                run_remote ~socket ~device ~fw ~dnn ~deadline
+                  ~use_cache:(not no_request_cache) ~trace ~emit_c ~workload
+                  ~size ~framework func
+            | None ->
             let c =
               Pom.compile ~device ~framework:fw ~dnn ~dump_after ~verify_each
                 ~jobs ?deadline_s:deadline ~on_error ?checkpoint func
@@ -483,18 +632,87 @@ let inject_arg =
 let list_arg =
   Arg.(value & flag & info [ "list" ] ~doc:"List available workloads.")
 
+let serve_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"SOCKET"
+        ~doc:
+          "Run as a persistent compile server on the named Unix-domain \
+           socket.  The process stays warm across requests — the \
+           schedule/report/plan memo tables and a cross-request response \
+           cache persist — so repeated compiles of one design point cost \
+           a lookup.  Compiles are serialized (each request gets its own \
+           --deadline-style budget); admission is bounded by --queue.  \
+           Exits 0 on SIGTERM/SIGINT or a client --stop, 1 when the \
+           socket cannot be bound.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Compile on the --serve daemon at $(docv) instead of in this \
+           process: the scheduled workload is shipped over the framed \
+           wire protocol and the synthesis report, HLS C, and trace come \
+           back.  --deadline rides along as the server-side budget.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int Pom_server.Server.default_max_queue
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "With --serve: admit at most $(docv) queued requests; further \
+           requests are answered immediately with a typed POM310 \
+           overload error.")
+
+let no_request_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-request-cache" ]
+        ~doc:
+          "With --connect: bypass the server's cross-request response \
+           cache (the memo tables stay warm).  For measurement and \
+           bit-identity checks.")
+
+let stop_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stop" ] ~docv:"SOCKET"
+        ~doc:
+          "Ask the --serve daemon at $(docv) to shut down cleanly and \
+           print its final counters.")
+
+let server_stats_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "server-stats" ] ~docv:"SOCKET"
+        ~doc:
+          "Print the --serve daemon's request/cache/queue counters and \
+           exit.")
+
 let cmd =
   let doc = "POM: generate an optimized FPGA accelerator for a workload" in
   let exits =
     [
-      Cmd.Exit.info 0 ~doc:"on success.";
-      Cmd.Exit.info 1 ~doc:"on usage errors or unparsable input (POM307).";
+      Cmd.Exit.info 0
+        ~doc:"on success (including a clean --serve daemon shutdown).";
+      Cmd.Exit.info 1
+        ~doc:
+          "on usage errors (bad numeric options, unparsable input — \
+           POM307), an unbindable --serve socket, or an unreachable \
+           --connect/--stop socket.";
       Cmd.Exit.info 2
         ~doc:"on analyzer errors or an illegal schedule (POM1xx/POM2xx).";
       Cmd.Exit.info 3
         ~doc:
           "on a resilience abort: exhausted --deadline, failed required \
-           pass, or injected kill (POM3xx).";
+           pass, injected kill, or a typed server-side error over \
+           --connect (POM3xx, including POM310 overload).";
     ]
   in
   Cmd.v
@@ -506,7 +724,8 @@ let cmd =
       $ trace_arg $ timing_arg $ dump_after_arg $ verify_each_arg $ frac_arg
       $ jobs_arg $ jobs_mode_arg $ chunk_arg $ worker_arg $ deadline_arg
       $ on_error_arg
-      $ checkpoint_arg $ inject_arg $ list_arg)
+      $ checkpoint_arg $ inject_arg $ list_arg $ serve_arg $ connect_arg
+      $ queue_arg $ no_request_cache_arg $ stop_arg $ server_stats_arg)
 
 let () =
   (* --worker must not pay for (or be confused by) Cmdliner parsing: the

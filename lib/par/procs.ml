@@ -25,10 +25,40 @@ let kill_worker w =
     (try close_in w.from_w with Sys_error _ -> ())
   end
 
-let reap w =
+(* Reaping must never block the parent on a wedged child: a worker that
+   ignores its closed stdin (stuck in a loop, swapped out, masked
+   signals) would park a blocking [waitpid] forever.  So shutdown
+   escalates: SIGTERM everyone up front, poll with [WNOHANG] over a
+   short grace window, then SIGKILL whoever is left and reap that — a
+   KILLed process is guaranteed to become reapable promptly. *)
+let signal_worker signum w =
+  try Unix.kill w.pid signum with Unix.Unix_error _ -> ()
+
+(* true when the child is reaped (or was never ours to reap) *)
+let try_reap w =
+  match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+  | 0, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error _ -> true
+
+let reap_blocking w =
   match Unix.waitpid [] w.pid with
   | _ -> ()
   | exception Unix.Unix_error _ -> ()
+
+let reap_all ~grace_s workers =
+  Array.iter (signal_worker Sys.sigterm) workers;
+  let deadline = Unix.gettimeofday () +. Float.max 0.0 grace_s in
+  let pending = ref (Array.to_list workers) in
+  let prune () = pending := List.filter (fun w -> not (try_reap w)) !pending in
+  prune ();
+  while !pending <> [] && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01;
+    prune ()
+  done;
+  (* past the grace window: the stragglers are presumed wedged *)
+  List.iter (signal_worker Sys.sigkill) !pending;
+  List.iter reap_blocking !pending
 
 let spawn exe args =
   let in_read, in_write = Unix.pipe ~cloexec:false () in
@@ -53,11 +83,13 @@ let spawn exe args =
   set_binary_mode_in from_w true;
   { pid; to_w; from_w; alive = true }
 
-let shutdown t =
+let default_grace_s = 2.0
+
+let shutdown ?(grace_s = default_grace_s) t =
   if t.open_ then begin
     t.open_ <- false;
     Array.iter kill_worker t.workers;
-    Array.iter reap t.workers
+    reap_all ~grace_s t.workers
   end
 
 let create ~exe ~args ~header ~jobs =
@@ -167,6 +199,10 @@ let rpc t ~tag payloads =
 let serve ~header handle =
   set_binary_mode_in stdin true;
   set_binary_mode_out stdout true;
+  (* workers inherit the parent's environment, so POM_FAULTS armed there
+     arms the same deterministic sites here — how the shutdown tests wedge
+     a worker on purpose *)
+  Pom_resilience.Fault.configure_from_env ();
   let protocol_error detail =
     prerr_endline ("worker: " ^ detail);
     2
@@ -185,6 +221,22 @@ let serve ~header handle =
         (Printf.sprintf "protocol version %d, expected %d (POM309)"
            h.Frame.version header.Frame.version)
   | _ -> (
+      (* fault site for the shutdown regression test: a wedged worker that
+         ignores both its closed stdin and SIGTERM, the failure mode that
+         used to park the parent's blocking [waitpid] forever.  SIGTERM is
+         ignored *before* the greeting goes out, so once the parent has
+         completed the handshake the worker is provably immune to
+         everything but SIGKILL. *)
+      if Pom_resilience.Fault.poll "procs:serve-wedge" then begin
+        Sys.set_signal Sys.sigterm Sys.Signal_ignore;
+        (try
+           Frame.output_header stdout header;
+           flush stdout
+         with Sys_error _ -> ());
+        while true do
+          Unix.sleepf 3600.0
+        done
+      end;
       match
         Frame.output_header stdout header;
         flush stdout

@@ -38,9 +38,13 @@ val broadcast : t -> tag:int -> string -> unit
     answered with a different tag. *)
 val rpc : t -> tag:int -> string list -> string option list
 
-(** Close every worker's stdin (the workers see EOF and exit) and reap
-    them.  Idempotent. *)
-val shutdown : t -> unit
+(** Close every worker's stdin (the workers see EOF and exit), send
+    SIGTERM, and reap without ever blocking on a wedged child: workers
+    still unreaped after polling [waitpid WNOHANG] over the [grace_s]
+    (default 2 s) grace window are SIGKILLed and then reaped — a killed
+    process is guaranteed to become reapable.  Idempotent; always
+    returns within roughly the grace window. *)
+val shutdown : ?grace_s:float -> t -> unit
 
 (** Worker side: read the parent's header from stdin (checking it
     matches [header]), answer with [header], then serve requests with

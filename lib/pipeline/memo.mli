@@ -78,6 +78,19 @@ val synthesize :
 
 val clear : t -> unit
 
+(** {1 Key fingerprints}
+
+    The structural fingerprints the memo tables key on, exported so
+    other caches (the compile server's cross-request response cache)
+    can key on exactly the same identity the memo uses.  [func_key]
+    deliberately excludes the function's attached directives — callers
+    caching whole compiles must mix in {!directives_key} of
+    [Func.directives] themselves. *)
+
+val func_key : Func.t -> string
+val directives_key : Schedule.t list -> string
+val device_key : Pom_hls.Device.t -> string
+
 (** The plan-memo key for one candidate: function, base prefix, hardware
     directives, and the partition planner's bank cap. *)
 val plan_key :

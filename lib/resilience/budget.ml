@@ -4,6 +4,11 @@ type t = {
   deadline : float option;  (* absolute Unix.gettimeofday seconds *)
   max_ticks : int option;
   ticks : int Atomic.t;
+  cancel : (unit -> bool) option;
+      (* external cancellation (e.g. a compile server noticing its client
+         disconnected): polled on every budget check, so cancellation
+         propagates through the same cooperative checkpoints a deadline
+         does *)
 }
 
 (* The ambient budget.  An [Atomic] rather than DLS: pool worker domains
@@ -12,9 +17,9 @@ type t = {
    threading a token through every call. *)
 let current : t option Atomic.t = Atomic.make None
 
-let install ?deadline_s ?max_ticks () =
-  match (deadline_s, max_ticks) with
-  | None, None -> Atomic.set current None
+let install ?deadline_s ?max_ticks ?cancel () =
+  match (deadline_s, max_ticks, cancel) with
+  | None, None, None -> Atomic.set current None
   | _ ->
       Atomic.set current
         (Some
@@ -23,18 +28,19 @@ let install ?deadline_s ?max_ticks () =
                Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s;
              max_ticks;
              ticks = Atomic.make 0;
+             cancel;
            })
 
 let clear () = Atomic.set current None
 
 let active () = Atomic.get current <> None
 
-let with_budget ?deadline_s ?max_ticks f =
-  match (deadline_s, max_ticks) with
-  | None, None -> f ()
+let with_budget ?deadline_s ?max_ticks ?cancel f =
+  match (deadline_s, max_ticks, cancel) with
+  | None, None, None -> f ()
   | _ ->
       let saved = Atomic.get current in
-      install ?deadline_s ?max_ticks ();
+      install ?deadline_s ?max_ticks ?cancel ();
       Fun.protect ~finally:(fun () -> Atomic.set current saved) f
 
 let ticks () =
@@ -45,6 +51,14 @@ let ticks () =
 let exceeded site reason = raise (Budget_exceeded { site; reason })
 
 let check_budget b site =
+  (match b.cancel with
+  | Some poll ->
+      (* a cancel poll that itself raises must not mask the real state:
+         treat an exception as "not cancelled" and let the other bounds
+         decide *)
+      if (try poll () with _ -> false) then
+        exceeded site "request cancelled"
+  | None -> ());
   (match b.deadline with
   | Some d ->
       let now = Unix.gettimeofday () in

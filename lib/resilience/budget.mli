@@ -21,9 +21,15 @@ exception
   }
 
 (** Install an ambient budget: [deadline_s] seconds of wall clock from now
-    and/or at most [max_ticks] work ticks.  Replaces any current budget.
-    With neither bound given this clears the budget. *)
-val install : ?deadline_s:float -> ?max_ticks:int -> unit -> unit
+    and/or at most [max_ticks] work ticks and/or an external [cancel]
+    poll (e.g. "has this request's client disconnected?"), checked at
+    every budget checkpoint — when it returns true the work aborts with
+    {!Budget_exceeded} exactly like an expired deadline.  The poll runs
+    on hot paths: it must be cheap (an [Atomic.get], not a syscall).
+    Replaces any current budget.  With no bound given this clears the
+    budget. *)
+val install :
+  ?deadline_s:float -> ?max_ticks:int -> ?cancel:(unit -> bool) -> unit -> unit
 
 (** Remove the ambient budget: all checks become no-ops. *)
 val clear : unit -> unit
@@ -32,9 +38,14 @@ val clear : unit -> unit
 val active : unit -> bool
 
 (** Run [f] under a budget, restoring the previous budget afterwards (also
-    on exceptions).  With neither bound given, [f] runs under the budget
+    on exceptions).  With no bound given, [f] runs under the budget
     already in force. *)
-val with_budget : ?deadline_s:float -> ?max_ticks:int -> (unit -> 'a) -> 'a
+val with_budget :
+  ?deadline_s:float ->
+  ?max_ticks:int ->
+  ?cancel:(unit -> bool) ->
+  (unit -> 'a) ->
+  'a
 
 (** Work ticks consumed under the current budget (0 when none). *)
 val ticks : unit -> int

@@ -1,7 +1,23 @@
 module Wire = Pom_wire.Wire
 module Frame = Pom_wire.Frame
 
-type t = { path : string; oc : out_channel; lock : Mutex.t }
+type t = {
+  path : string;
+  oc : out_channel;
+  lock : Mutex.t;
+  fsync_each : bool;
+}
+
+(* Push the channel's buffered bytes through the OS down to the device.
+   [flush] alone only reaches the kernel's page cache: a machine crash (as
+   opposed to a process crash) can still lose acknowledged records.  A
+   failed fsync is ignored — some filesystems (pipes, certain tmpfs
+   setups) reject it, and the journal's contract degrades to flush-level
+   durability there rather than failing the append. *)
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc)
+  with Unix.Unix_error _ | Sys_error _ -> ()
 
 let kind = "pom-dse-journal"
 let version = 2
@@ -76,7 +92,7 @@ let examine path =
     verdict
   end
 
-let load path =
+let load ?(fsync_each = false) path =
   let records, notes =
     match examine path with
     | Intact (records, good, notes) ->
@@ -103,18 +119,22 @@ let load path =
         ([], Option.to_list note)
   in
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
-  ({ path; oc; lock = Mutex.create () }, records, notes)
+  ({ path; oc; lock = Mutex.create (); fsync_each }, records, notes)
 
 let append t ~key ~data =
   Mutex.lock t.lock;
   Frame.output_record t.oc ~tag:record_tag
     (Wire.to_string record_codec (key, data));
   flush t.oc;
+  if t.fsync_each then fsync_channel t.oc;
   Mutex.unlock t.lock
 
 let path t = t.path
 
 let close t =
   Mutex.lock t.lock;
+  (* fsync before close: acknowledged records survive a machine crash
+     from here on (per-append durability is opt-in via [fsync_each]) *)
+  (try fsync_channel t.oc with Sys_error _ -> ());
   (try close_out t.oc with Sys_error _ -> ());
   Mutex.unlock t.lock

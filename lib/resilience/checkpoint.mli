@@ -31,10 +31,18 @@ val version : int
     with the intact records, oldest first, plus human-readable notes
     describing any degradation applied (torn tail truncated, version
     mismatch restart, corrupt record cut).  An empty note list means the
-    file was pristine. *)
-val load : string -> t * (string * string) list * string list
+    file was pristine.
 
-(** Append one record and flush it to the OS.  Thread-safe. *)
+    Durability contract: every {!append} flushes to the OS, so a
+    *process* crash loses at most the record being written; {!close}
+    additionally fsyncs, so a cleanly closed journal survives a
+    *machine* crash too.  With [fsync_each] (default false) every
+    append fsyncs before returning — full machine-crash durability per
+    acknowledged record, at a heavy per-append cost. *)
+val load : ?fsync_each:bool -> string -> t * (string * string) list * string list
+
+(** Append one record and flush it to the OS (and fsync it, when the
+    journal was loaded with [fsync_each]).  Thread-safe. *)
 val append : t -> key:string -> data:string -> unit
 
 val path : t -> string

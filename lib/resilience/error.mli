@@ -18,7 +18,9 @@
     - [POM307] front-end parse error
     - [POM308] corrupt wire data — artifact dropped (cache miss), never trusted
     - [POM309] wire format version mismatch — artifact from another
-      format generation, discarded cleanly *)
+      format generation, discarded cleanly
+    - [POM310] compile server overloaded — request rejected at admission
+      (bounded queue full), never silently dropped *)
 
 type t = {
   code : string;  (** stable identifier, e.g. ["POM301"] *)

@@ -1,0 +1,48 @@
+let with_connection ~socket f =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      f ic oc)
+
+let roundtrip ~socket msg =
+  with_connection ~socket (fun ic oc ->
+      Protocol.write_client_msg oc msg;
+      Protocol.read_server_msg ic)
+
+let unexpected () =
+  raise
+    (Pom_wire.Wire.Corrupt
+       { what = "pom-response"; detail = "response kind does not match request" })
+
+let compile ~socket req =
+  match roundtrip ~socket (Protocol.Compile req) with
+  | Protocol.Response r -> r
+  | Protocol.Server_stats _ -> unexpected ()
+
+let stats ~socket =
+  match roundtrip ~socket Protocol.Stats with
+  | Protocol.Server_stats s -> s
+  | Protocol.Response _ -> unexpected ()
+
+let shutdown ~socket =
+  match roundtrip ~socket Protocol.Shutdown with
+  | Protocol.Server_stats s -> s
+  | Protocol.Response _ -> unexpected ()
+
+let request ?(id = 0) ?(device = Pom_hls.Device.xc7z020)
+    ?(framework = `Pom_manual) ?(dnn = false) ?deadline_s ?(use_cache = true)
+    ?(client = "pom") func =
+  {
+    Protocol.id;
+    func;
+    device;
+    framework;
+    dnn;
+    deadline_s;
+    use_cache;
+    client;
+  }

@@ -1,0 +1,65 @@
+(** The persistent compile server (POM-as-a-service).
+
+    One process owns the warm state a cold [pom_compile] rebuilds from
+    scratch every run: the {!Pom_pipeline.Memo} schedule/report/plan
+    tables and a cross-request response cache keyed by
+    {!Protocol.cache_key}.  Clients connect over a Unix-domain socket,
+    send one framed {!Protocol.request}, and receive one framed
+    {!Protocol.response}.
+
+    Concurrency model: connection handling is threaded (decode, queue,
+    watch for client disconnect, write the response), but compiles are
+    serialized on a single executor thread.  This is deliberate — the
+    cooperative {!Pom_resilience.Budget} is an ambient process-wide
+    token, so two concurrent compiles with different deadlines would
+    clash; one executor gives every request its own budget (the
+    request's [deadline_s] plus a cancel poll wired to the client's
+    connection) while the {!Pom.compile] call itself still fans out
+    across worker domains via [jobs].
+
+    Admission control: a bounded FIFO queue (default {!default_max_queue}).
+    A request arriving with the queue full is answered immediately with a
+    typed POM310 error response, never silently dropped.
+
+    Degradation contract: a malformed or oversized request record is
+    answered with POM308, a framing/schema version gap with POM309, a
+    blown per-request budget with POM301 — the connection that carried
+    the bad input closes and the server keeps serving.  A client that
+    disconnects mid-compile trips the request's budget at the next
+    cooperative checkpoint and costs nothing further. *)
+
+type t
+
+val default_max_queue : int
+
+(** [start ~socket ()] binds the Unix-domain socket (unlinking a stale
+    file first), spawns the accept loop and the executor thread, and
+    returns a handle.  [max_queue] bounds the admission queue;
+    [max_payload] caps a request record ({!Protocol.default_max_request_payload});
+    [jobs] is the worker-domain budget each compile fans out to (default
+    [1]: deterministic and friendly to test hosts).
+
+    No signal handlers are installed (SIGPIPE excepted, which is
+    ignored process-wide — a client closing mid-write must never kill
+    the server); {!run} layers signal-driven shutdown on top for the
+    daemon entry point. *)
+val start :
+  ?max_queue:int -> ?max_payload:int -> ?jobs:int -> socket:string -> unit -> t
+
+(** Request a stop (idempotent, non-blocking): the accept loop exits,
+    queued requests are drained and answered, the executor joins. *)
+val request_stop : t -> unit
+
+(** Wait for the server to finish shutting down and release the socket.
+    Implies nothing about {e why} it stopped (signal, {!request_stop},
+    or a client's shutdown request). *)
+val join : t -> unit
+
+val stats : t -> Protocol.server_stats
+
+(** [run ~socket ()] is the daemon entry point: {!start}, install
+    SIGTERM/SIGINT handlers that trigger a clean stop, block until
+    shutdown, and return the process exit code (0 on a clean stop, 1
+    when the socket cannot be bound). *)
+val run :
+  ?max_queue:int -> ?max_payload:int -> ?jobs:int -> socket:string -> unit -> int

@@ -70,7 +70,7 @@ let input_header ~what ic =
 
 (* Record reads accumulate the exact bytes of tag+len as they stream in,
    so the CRC covers what was actually on the wire (no re-encoding). *)
-let input_record ~what ic =
+let input_record ?(max_payload = max_payload) ~what ic =
   match input_byte ic with
   | exception End_of_file -> None
   | b0 ->

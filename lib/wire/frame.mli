@@ -40,8 +40,15 @@ val input_header : what:string -> in_channel -> header
 val output_record : out_channel -> tag:int -> string -> unit
 
 (** [None] at a clean end of stream (EOF at a record boundary); raises
-    {!Wire.Corrupt} on a torn record or CRC mismatch. *)
-val input_record : what:string -> in_channel -> (int * string) option
+    {!Wire.Corrupt} on a torn record or CRC mismatch.  [max_payload]
+    (default {!max_payload}) tightens the length sanity cap — servers
+    reading requests from untrusted peers pass a small bound so a
+    hostile length field is rejected before any allocation. *)
+val input_record :
+  ?max_payload:int -> what:string -> in_channel -> (int * string) option
+
+(** The default record payload cap (256 MiB). *)
+val max_payload : int
 
 (** {1 Buffer IO (for fixtures and fuzzing)} *)
 

@@ -23,6 +23,19 @@ let test_usage_errors () =
   Alcotest.(check int) "malformed schedule" 1
     (run "-w gemm -f pom-manual --schedule \"pipeline s\"")
 
+(* Numeric options must be rejected up front with a clear usage error,
+   never clamped or allowed to wedge a worker pool. *)
+let test_bad_numeric_options () =
+  Alcotest.(check int) "--jobs 0" 1 (run "-w gemm -j 0");
+  Alcotest.(check int) "--jobs negative" 1 (run "-w gemm --jobs=-2");
+  Alcotest.(check int) "--chunk 0" 1 (run "-w gemm --chunk=0");
+  Alcotest.(check int) "--size negative" 1 (run "-w gemm --size=-5");
+  Alcotest.(check int) "--deadline 0" 1 (run "-w gemm --deadline=0");
+  Alcotest.(check int) "--deadline negative" 1 (run "-w gemm --deadline=-1.5");
+  Alcotest.(check int) "--queue 0" 1 (run "--serve /tmp/unused.sock --queue=0");
+  Alcotest.(check int) "--resource-fraction 0" 1
+    (run "-w gemm --resource-fraction=0")
+
 let test_analysis_failures () =
   Alcotest.(check int) "--Werror promotes the analyzer warning" 2
     (run "-w gemm -s 32 -f pom-manual --schedule \"pipeline s k 1\" --Werror");
@@ -36,6 +49,8 @@ let () =
         [
           Alcotest.test_case "success" `Quick test_success;
           Alcotest.test_case "usage errors" `Quick test_usage_errors;
+          Alcotest.test_case "bad numeric options" `Quick
+            test_bad_numeric_options;
           Alcotest.test_case "analysis failures" `Quick test_analysis_failures;
         ] );
     ]

@@ -302,6 +302,57 @@ let test_scalehls_deterministic () =
     seq.Pom.Baselines.Scalehls.evaluations
     par.Pom.Baselines.Scalehls.evaluations
 
+(* -------- worker-process pool shutdown -------- *)
+
+(* A healthy pool shuts down promptly: the workers exit on EOF/SIGTERM and
+   are reaped within (well under) the grace window. *)
+let test_procs_shutdown_healthy () =
+  let exe = Pom.Dse.Workpool.default_exe () in
+  let procs =
+    Pom.Par.Procs.create ~exe ~args:[ "--worker" ]
+      ~header:Pom.Dse.Workpool.header ~jobs:2
+  in
+  Alcotest.(check int) "both workers alive" 2 (Pom.Par.Procs.alive procs);
+  let t0 = Unix.gettimeofday () in
+  Pom.Par.Procs.shutdown procs;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "healthy shutdown is fast (%.3f s)" dt)
+    true (dt < 2.0);
+  (* idempotent *)
+  Pom.Par.Procs.shutdown procs
+
+(* The bug this guards against: a wedged worker that ignores both its
+   closed stdin and SIGTERM used to park [shutdown] forever on a blocking
+   [waitpid].  The [procs:serve-wedge] fault site (armed through the
+   inherited POM_FAULTS environment) makes the worker exactly that
+   hostile; shutdown must escalate to SIGKILL and return within the
+   grace window. *)
+let test_procs_shutdown_wedged_worker () =
+  let exe = Pom.Dse.Workpool.default_exe () in
+  Unix.putenv "POM_FAULTS" "procs:serve-wedge=fail@1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "POM_FAULTS" "") @@ fun () ->
+  let procs =
+    Pom.Par.Procs.create ~exe ~args:[ "--worker" ]
+      ~header:Pom.Dse.Workpool.header ~jobs:1
+  in
+  Alcotest.(check int) "worker handshook" 1 (Pom.Par.Procs.alive procs);
+  (* the wedged worker ignores SIGTERM before it echoes its greeting, so
+     a completed handshake proves the worker is already immune to
+     everything but SIGKILL *)
+  let t0 = Unix.gettimeofday () in
+  Pom.Par.Procs.shutdown ~grace_s:0.5 procs;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "shutdown waited out the grace window (%.3f s)" dt)
+    true (dt >= 0.4);
+  Alcotest.(check bool)
+    (Printf.sprintf "wedged shutdown completes within the grace window \
+                     (%.3f s)"
+       dt)
+    true
+    (dt < 5.0)
+
 let () =
   Alcotest.run "par"
     [
@@ -334,6 +385,13 @@ let () =
         [
           Alcotest.test_case "single miss under concurrency" `Quick
             test_memo_single_miss_under_concurrency;
+        ] );
+      ( "procs-shutdown",
+        [
+          Alcotest.test_case "healthy pool reaps promptly" `Quick
+            test_procs_shutdown_healthy;
+          Alcotest.test_case "wedged worker is SIGKILLed within grace" `Quick
+            test_procs_shutdown_wedged_worker;
         ] );
       ( "determinism",
         [

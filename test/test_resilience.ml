@@ -40,6 +40,26 @@ let test_budget_noop_without_install () =
   R.Budget.check "test:none";
   R.Budget.tick ~cost:1_000_000 "test:none"
 
+let test_budget_cancel () =
+  (* an external cancel poll trips a checkpoint exactly like a deadline *)
+  let cancelled = Atomic.make false in
+  (match
+     R.Budget.with_budget
+       ~cancel:(fun () -> Atomic.get cancelled)
+       (fun () ->
+         R.Budget.check "test:cancel";
+         Atomic.set cancelled true;
+         R.Budget.check "test:cancel")
+   with
+  | exception R.Budget.Budget_exceeded { site; reason } ->
+      Alcotest.(check string) "site" "test:cancel" site;
+      Alcotest.(check string) "reason" "request cancelled" reason
+  | () -> Alcotest.fail "expected cancellation to trip the budget");
+  (* a poll that raises is treated as not-cancelled, never as a crash *)
+  R.Budget.with_budget
+    ~cancel:(fun () -> failwith "poll blew up")
+    (fun () -> R.Budget.check "test:cancel-raise")
+
 (* -------- policy -------- *)
 
 let test_policy_parse () =
@@ -117,6 +137,22 @@ let test_checkpoint_roundtrip () =
   let j5, recs5, _ = R.Checkpoint.load path in
   R.Checkpoint.close j5;
   Alcotest.(check int) "bad magic restarts empty" 0 (List.length recs5);
+  Sys.remove path
+
+let test_checkpoint_fsync_each () =
+  (* fsync_each is a durability knob, not a behaviour change: records
+     written under it replay identically *)
+  let path = Filename.temp_file "pom_ckpt_sync" ".jrnl" in
+  Sys.remove path;
+  let j, _, _ = R.Checkpoint.load ~fsync_each:true path in
+  R.Checkpoint.append j ~key:"k1" ~data:"d1";
+  R.Checkpoint.append j ~key:"k2" ~data:"d2";
+  R.Checkpoint.close j;
+  let j2, recs2, notes2 = R.Checkpoint.load path in
+  R.Checkpoint.close j2;
+  Alcotest.(check (list (pair string string)))
+    "synced records replay" [ ("k1", "d1"); ("k2", "d2") ] recs2;
+  Alcotest.(check (list string)) "no degradation notes" [] notes2;
   Sys.remove path
 
 (* -------- memo in-flight claim reclaim -------- *)
@@ -312,6 +348,7 @@ let () =
           Alcotest.test_case "deadline" `Quick test_budget_deadline;
           Alcotest.test_case "no-op without install" `Quick
             test_budget_noop_without_install;
+          Alcotest.test_case "external cancel" `Quick test_budget_cancel;
         ] );
       ("policy", [ Alcotest.test_case "parse and scope" `Quick test_policy_parse ]);
       ( "fault injection",
@@ -323,6 +360,8 @@ let () =
         [
           Alcotest.test_case "roundtrip and torn tail" `Quick
             test_checkpoint_roundtrip;
+          Alcotest.test_case "fsync_each replay" `Quick
+            test_checkpoint_fsync_each;
         ] );
       ( "memo",
         [ Alcotest.test_case "stale claim reclaim" `Quick test_memo_claim_reclaim ] );

@@ -1,0 +1,322 @@
+(* The compile server: protocol round-trips, cold/warm cache behavior with
+   bit-identical results, concurrent clients, mid-request disconnect
+   cancelling the compile without taking the server down, and malformed
+   input answered with typed errors. *)
+
+module Server = Pom_server.Server
+module Client = Pom_server.Client
+module Protocol = Pom_server.Protocol
+module Wire = Pom_wire.Wire
+module Frame = Pom_wire.Frame
+
+(* Unix-domain socket paths are capped near 108 bytes: build them in the
+   system temp dir, never under the (deep) dune build tree. *)
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pom-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?max_queue ?max_payload f =
+  let socket = fresh_socket () in
+  let t = Server.start ?max_queue ?max_payload ~socket () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop t;
+      Server.join t;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () -> f ~socket t)
+
+let scheduled_gemm size =
+  let f = Pom.Workloads.Polybench.gemm size in
+  Pom.Dsl.Func.schedule f (Pom.Dsl.Schedule.pipeline "s" "k" 1);
+  f
+
+let ok_result (r : Protocol.response) =
+  match r.Protocol.outcome with
+  | Ok v -> v
+  | Error e ->
+      Alcotest.failf "expected a successful compile, got %s: %s"
+        e.Protocol.code e.Protocol.message
+
+(* -------- protocol round-trips -------- *)
+
+let test_protocol_roundtrip () =
+  let req =
+    Client.request ~id:42 ~deadline_s:1.5 ~use_cache:false ~client:"test"
+      (scheduled_gemm 16)
+  in
+  let bytes = Wire.to_string Protocol.request_codec req in
+  let back = Wire.of_string_exn Protocol.request_codec bytes in
+  Alcotest.(check int) "id" 42 back.Protocol.id;
+  Alcotest.(check bool) "use_cache" false back.Protocol.use_cache;
+  Alcotest.(check (option (float 1e-9))) "deadline" (Some 1.5)
+    back.Protocol.deadline_s;
+  Alcotest.(check string) "cache key survives the wire"
+    (Protocol.cache_key req) (Protocol.cache_key back);
+  (* two schedules of one function must not collide in the cache *)
+  let plain = Client.request (Pom.Workloads.Polybench.gemm 16) in
+  let sched = Client.request (scheduled_gemm 16) in
+  Alcotest.(check bool) "directives distinguish cache keys" false
+    (Protocol.cache_key plain = Protocol.cache_key sched)
+
+(* -------- cold / warm / bypass -------- *)
+
+let test_cold_warm_bit_identity () =
+  with_server @@ fun ~socket _t ->
+  let request () = Client.request ~id:1 (scheduled_gemm 32) in
+  let cold = Client.compile ~socket (request ()) in
+  Alcotest.(check bool) "cold is computed" true
+    (cold.Protocol.served = Protocol.Computed);
+  let r_cold = ok_result cold in
+  (* warm, cache allowed: a pure response-cache hit *)
+  let warm = Client.compile ~socket (request ()) in
+  Alcotest.(check bool) "warm is cached" true
+    (warm.Protocol.served = Protocol.Cached);
+  let r_warm = ok_result warm in
+  Alcotest.(check string) "warm result is bit-identical"
+    (Wire.to_string Protocol.result_codec r_cold)
+    (Wire.to_string Protocol.result_codec r_warm);
+  (* warm, cache bypassed: recompiles on the warm memo tables *)
+  let recompute =
+    Client.compile ~socket
+      { (request ()) with Protocol.use_cache = false }
+  in
+  Alcotest.(check bool) "bypass recomputes" true
+    (recompute.Protocol.served = Protocol.Computed);
+  let m = recompute.Protocol.memo in
+  Alcotest.(check bool) "recompute hits the report memo" true
+    (m.Protocol.report_hits >= 1);
+  Alcotest.(check bool) "recompute misses nothing" true
+    (m.Protocol.report_misses = 0 && m.Protocol.schedule_misses = 0);
+  let r_re = ok_result recompute in
+  Alcotest.(check string) "memo-warm recompile is bit-identical"
+    (Wire.to_string Protocol.result_codec r_cold)
+    (Wire.to_string Protocol.result_codec r_re)
+
+(* -------- concurrent clients -------- *)
+
+let test_concurrent_clients () =
+  with_server @@ fun ~socket t ->
+  let sizes = [| 16; 24; 32; 16 |] in
+  let results = Array.make (Array.length sizes) None in
+  let threads =
+    Array.mapi
+      (fun i size ->
+        Thread.create
+          (fun () ->
+            let r =
+              Client.compile ~socket
+                (Client.request ~id:i (scheduled_gemm size))
+            in
+            results.(i) <- Some r)
+          ())
+      sizes
+  in
+  Array.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> Alcotest.failf "client %d got no response" i
+      | Some r ->
+          Alcotest.(check int) "response id echoes" i r.Protocol.r_id;
+          ignore (ok_result r))
+    results;
+  let s = Server.stats t in
+  Alcotest.(check int) "all requests accounted" (Array.length sizes)
+    s.Protocol.requests;
+  Alcotest.(check int) "all succeeded" (Array.length sizes)
+    s.Protocol.succeeded;
+  (* two clients asked for the identical design point: one computed it,
+     and whichever arrived second was served from cache or computed on a
+     fully warm memo — either way nothing failed and the server kept
+     exactly one entry per distinct key *)
+  Alcotest.(check int) "one cache entry per distinct key" 3
+    s.Protocol.cache_entries
+
+(* -------- mid-request disconnect -------- *)
+
+let test_disconnect_cancels () =
+  with_server @@ fun ~socket t ->
+  (* a client that sends a non-trivial compile and hangs up immediately:
+     the budget's cancel poll must abort the work, the server must keep
+     serving *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let oc = Unix.out_channel_of_descr fd in
+  let f = Pom.Workloads.Polybench.seidel 128 in
+  Protocol.write_client_msg oc
+    (Protocol.Compile (Client.request ~id:7 ~framework:`Pom_auto f));
+  Unix.sleepf 0.1;
+  (* the request is decoded and queued/running *)
+  Unix.close fd;
+  (* the server answers other clients while (and after) the abandoned
+     compile is cancelled *)
+  let r = Client.compile ~socket (Client.request ~id:8 (scheduled_gemm 16)) in
+  ignore (ok_result r);
+  (* the abandoned request must eventually be accounted as failed
+     (cancelled), not hang the executor *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec wait () =
+    let s = Server.stats t in
+    if s.Protocol.failed >= 1 then s
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "cancelled compile never settled"
+    else begin
+      Unix.sleepf 0.05;
+      wait ()
+    end
+  in
+  let s = wait () in
+  Alcotest.(check int) "both requests seen" 2 s.Protocol.requests;
+  Alcotest.(check int) "the live client succeeded" 1 s.Protocol.succeeded
+
+(* -------- malformed input -------- *)
+
+let raw_exchange ~socket bytes =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc bytes;
+      flush oc;
+      (* half-close so a torn record reads as EOF now, not as a stalled
+         stream the server waits out *)
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      Protocol.read_server_msg (Unix.in_channel_of_descr fd))
+
+let expect_error_code ~socket bytes code =
+  match raw_exchange ~socket bytes with
+  | Protocol.Response { Protocol.outcome = Error e; _ } ->
+      Alcotest.(check string) "typed error code" code e.Protocol.code
+  | Protocol.Response _ -> Alcotest.fail "expected an error response"
+  | Protocol.Server_stats _ -> Alcotest.fail "expected a compile response"
+
+let test_malformed_requests () =
+  with_server ~max_payload:4096 @@ fun ~socket _t ->
+  (* garbage magic *)
+  expect_error_code ~socket "GARBAGE-NOT-A-FRAME" "POM308";
+  (* valid header, torn record *)
+  let torn =
+    let b = Buffer.create 64 in
+    Buffer.add_string b
+      (Frame.header_to_string
+         { Frame.kind = Protocol.request_kind; version = Protocol.version });
+    let rec_buf = Buffer.create 64 in
+    Frame.add_record rec_buf ~tag:1 (String.make 64 'x');
+    Buffer.add_string b
+      (String.sub (Buffer.contents rec_buf) 0 (Buffer.length rec_buf - 7));
+    Buffer.contents b
+  in
+  expect_error_code ~socket torn "POM308";
+  (* CRC-intact record whose payload is not a request *)
+  let undecodable =
+    let b = Buffer.create 64 in
+    Buffer.add_string b
+      (Frame.header_to_string
+         { Frame.kind = Protocol.request_kind; version = Protocol.version });
+    Frame.add_record b ~tag:1 "not a request record";
+    Buffer.contents b
+  in
+  expect_error_code ~socket undecodable "POM308";
+  (* a payload above the server's cap must be rejected, not allocated *)
+  let oversized =
+    let b = Buffer.create 8192 in
+    Buffer.add_string b
+      (Frame.header_to_string
+         { Frame.kind = Protocol.request_kind; version = Protocol.version });
+    Frame.add_record b ~tag:1 (String.make 8000 'y');
+    Buffer.contents b
+  in
+  expect_error_code ~socket oversized "POM308";
+  (* schema version gap *)
+  let wrong_version =
+    Frame.header_to_string
+      { Frame.kind = Protocol.request_kind; version = Protocol.version + 1 }
+    ^
+    let b = Buffer.create 16 in
+    Frame.add_record b ~tag:2 (Wire.to_string Wire.unit ());
+    Buffer.contents b
+  in
+  expect_error_code ~socket wrong_version "POM309";
+  (* after all that abuse the server still compiles *)
+  let r = Client.compile ~socket (Client.request (scheduled_gemm 16)) in
+  ignore (ok_result r)
+
+(* -------- admission control -------- *)
+
+let test_admission_overload () =
+  with_server ~max_queue:1 @@ fun ~socket _t ->
+  (* occupy the executor with a compile that outlives the test window,
+     then fill the queue; the next request must bounce with POM310 *)
+  let slow_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect slow_fd (Unix.ADDR_UNIX socket);
+  Protocol.write_client_msg
+    (Unix.out_channel_of_descr slow_fd)
+    (Protocol.Compile
+       (Client.request ~id:100 ~framework:`Pom_auto
+          (Pom.Workloads.Polybench.seidel 256)));
+  Unix.sleepf 0.15;
+  (* executor busy: this one parks in the queue *)
+  let queued_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect queued_fd (Unix.ADDR_UNIX socket);
+  Protocol.write_client_msg
+    (Unix.out_channel_of_descr queued_fd)
+    (Protocol.Compile (Client.request ~id:101 (scheduled_gemm 16)));
+  Unix.sleepf 0.1;
+  (* queue full: rejected immediately with the typed overload error *)
+  let r = Client.compile ~socket (Client.request ~id:102 (scheduled_gemm 24)) in
+  (match r.Protocol.outcome with
+  | Error e -> Alcotest.(check string) "overload code" "POM310" e.Protocol.code
+  | Ok _ -> Alcotest.fail "expected POM310 overload");
+  (* release everything: the abandoned slow compile cancels via its
+     budget, the queued request completes *)
+  Unix.close slow_fd;
+  let queued = Protocol.read_server_msg (Unix.in_channel_of_descr queued_fd) in
+  (match queued with
+  | Protocol.Response qr -> ignore (ok_result qr)
+  | Protocol.Server_stats _ -> Alcotest.fail "expected a compile response");
+  Unix.close queued_fd
+
+(* -------- shutdown over the wire -------- *)
+
+let test_shutdown_request () =
+  let socket = fresh_socket () in
+  let t = Server.start ~socket () in
+  ignore (Client.compile ~socket (Client.request (scheduled_gemm 16)));
+  let s = Client.shutdown ~socket in
+  Alcotest.(check int) "one request served before shutdown" 1
+    s.Protocol.requests;
+  (* join must return promptly and release the socket *)
+  let t0 = Unix.gettimeofday () in
+  Server.join t;
+  Alcotest.(check bool) "join is prompt" true (Unix.gettimeofday () -. t0 < 10.0);
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [ Alcotest.test_case "round-trips" `Quick test_protocol_roundtrip ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cold/warm bit-identity" `Quick
+            test_cold_warm_bit_identity;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "mid-request disconnect" `Quick
+            test_disconnect_cancels;
+          Alcotest.test_case "shutdown request" `Quick test_shutdown_request;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
+          Alcotest.test_case "admission overload" `Quick test_admission_overload;
+        ] );
+    ]
