@@ -150,11 +150,13 @@ let run ?(jobs = max 4 Pom.Par.default_jobs) ?(mode = Pom.Par.Domains) () =
     Printf.fprintf oc
       "      \"%s\": { \"wall_s\": %.6f, \"cpu_s\": %.6f, \"speedup\": %.4f, \
        \"overhead_s\": %.6f, \"steals\": %d, \"splits\": %d, \"chunks\": %d, \
-       \"items\": %d, \"occupancy\": %.4f, \"proj_hit_rate\": %.4f }"
+       \"items\": %d, \"forfeited\": %d, \"respawns\": %d, \"occupancy\": \
+       %.4f, \"proj_hit_rate\": %.4f }"
       label m.wall m.cpu (m1.wall /. m.wall)
       (Float.max 0.0 (m.wall -. m1.wall))
       m.sched.Pom.Par.Chunks.steals m.sched.Pom.Par.Chunks.splits
       m.sched.Pom.Par.Chunks.chunks m.sched.Pom.Par.Chunks.items
+      m.sched.Pom.Par.Chunks.forfeited m.sched.Pom.Par.Chunks.respawns
       (Pom.Par.Chunks.occupancy m.sched)
       (hit_rate m.proj_hits m.proj_misses)
   in

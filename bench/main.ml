@@ -39,6 +39,7 @@ let experiments =
     ("devices", Bench_devices.run);
     ("refute", Bench_refute.run);
     ("serve", Bench_serve.run);
+    ("chaos", Bench_chaos.run);
   ]
 
 (* one bechamel Test per table/figure, timing the dominant toolchain path

@@ -97,31 +97,124 @@ let pp_served ppf (r : Pom_server.Protocol.response) =
         m.Pom_server.Protocol.plan_hits
         (m.Pom_server.Protocol.plan_hits + m.Pom_server.Protocol.plan_misses)
 
+(* The one printer both the remote response and the local fallback flow
+   through, so a design compiled either way prints character-identical
+   report/speedup/tiles/C lines — only the [served:] provenance (and the
+   trace, which carries the fallback note) may differ. *)
+let print_remote_result ~workload ~size ~framework ~served ~trace ~emit_c
+    (r : Pom_server.Protocol.result) =
+  Format.printf "workload:    %s (size %d)@." workload size;
+  Format.printf "framework:   %s@." framework;
+  Format.printf "served:      %s@." served;
+  Format.printf "report:      %a@." Pom.Hls.Report.pp
+    r.Pom_server.Protocol.report;
+  Format.printf "speedup:     %.1fx over unoptimized (%d cycles)@."
+    r.Pom_server.Protocol.speedup r.Pom_server.Protocol.baseline_latency;
+  if r.Pom_server.Protocol.dse_time_s > 0.0 then
+    Format.printf "DSE time:    %.2f s@." r.Pom_server.Protocol.dse_time_s;
+  List.iter
+    (fun (name, v) ->
+      Format.printf "tiles %-10s [%s]@." name
+        (String.concat ", " (List.map string_of_int v)))
+    r.Pom_server.Protocol.tile_vectors;
+  if trace then
+    List.iter (Format.printf "trace:       %s@.") r.Pom_server.Protocol.trace;
+  if emit_c then begin
+    print_newline ();
+    print_string r.Pom_server.Protocol.hls_c
+  end;
+  if r.Pom_server.Protocol.legality_violations > 0 then begin
+    Format.eprintf
+      "legality:    %d reversed dependences — the schedule is illegal@."
+      r.Pom_server.Protocol.legality_violations;
+    2
+  end
+  else 0
+
 (* --connect: ship the scheduled function to a --serve daemon and print
-   the wire-returned artifact in the local report shape. *)
+   the wire-returned artifact in the local report shape.  Transport
+   failures are retried under the --retries/--retry-backoff policy; when
+   the retries are spent the client degrades to a local in-process
+   compile of the same request — the design is bit-identical to what the
+   server would have produced (same compile entry point, same result
+   projection), annotated in the trace as a fallback. *)
 let run_remote ~socket ~device ~fw ~dnn ~deadline ~use_cache ~trace ~emit_c
-    ~workload ~size ~framework func =
+    ~workload ~size ~framework ~retries ~retry_backoff ~jobs func =
   let req =
     Pom_server.Client.request ~device ~framework:fw ~dnn ?deadline_s:deadline
       ~use_cache ~client:"pom_compile" func
   in
-  match Pom_server.Client.compile ~socket req with
-  | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "error: cannot connect to %s: %s\n" socket
-        (Unix.error_message e);
-      1
-  | exception End_of_file ->
-      prerr_endline "error: server closed the connection without a response";
-      3
-  | exception Pom_wire.Wire.Corrupt { detail; _ } ->
-      Printf.eprintf "error [POM308]: corrupt response: %s\n" detail;
-      3
+  let policy =
+    {
+      Pom.Resilience.Retry.default with
+      Pom.Resilience.Retry.retries;
+      base_s = retry_backoff;
+    }
+  in
+  let attempts = ref 1 in
+  let on_retry ~attempt ~delay_s e =
+    attempts := attempt + 1;
+    Printf.eprintf
+      "pom_compile: attempt %d failed (%s); retrying in %.2f s\n%!" attempt
+      (Printexc.to_string e) delay_s
+  in
+  let fallback_local e =
+    Printf.eprintf
+      "pom_compile: server %s unreachable after %d attempt(s) (%s); \
+       compiling locally\n\
+       %!"
+      socket !attempts (Printexc.to_string e);
+    match
+      Pom.compile ~device ~framework:fw ~dnn ~jobs ?deadline_s:deadline func
+    with
+    | c ->
+        let r = Pom_server.Protocol.result_of_compiled c in
+        let r =
+          {
+            r with
+            Pom_server.Protocol.trace =
+              r.Pom_server.Protocol.trace
+              @ [
+                  Printf.sprintf
+                    "fallback: server %s unreachable; compiled locally" socket;
+                ];
+          }
+        in
+        print_remote_result ~workload ~size ~framework
+          ~served:
+            (Printf.sprintf "local fallback (server unreachable after %d \
+                             attempt(s))"
+               !attempts)
+          ~trace ~emit_c r
+    | exception Pom.Resilience.Fault.Killed site ->
+        Format.eprintf "error [POM305]: injected kill at %s@." site;
+        3
+    | exception
+        (( Pom.Resilience.Error.Error _
+         | Pom.Resilience.Budget.Budget_exceeded _ ) as e) ->
+        let err =
+          match e with
+          | Pom.Resilience.Error.Error t -> t
+          | e -> Pom.Resilience.Error.of_exn ~code:"POM301" e
+        in
+        Format.eprintf "%s@." (Pom.Resilience.Error.to_string err);
+        3
+  in
+  match
+    Pom_server.Client.compile_retry ~policy ~on_retry ~socket req
+  with
   | exception Pom_wire.Wire.Version_mismatch { expected; got; _ } ->
+      (* a protocol generation gap will not improve on retry, and silently
+         compiling locally would mask a deployment skew: fail loudly *)
       Printf.eprintf
         "error [POM309]: server speaks protocol version %d, this client \
          expects %d\n"
         got expected;
       3
+  | exception
+      (( Unix.Unix_error _ | End_of_file | Sys_error _
+       | Pom_wire.Wire.Corrupt _ ) as e) ->
+      fallback_local e
   | resp -> (
       match resp.Pom_server.Protocol.outcome with
       | Error e ->
@@ -132,38 +225,9 @@ let run_remote ~socket ~device ~fw ~dnn ~deadline ~use_cache ~trace ~emit_c
             | ctx -> " (" ^ String.concat " < " ctx ^ ")");
           3
       | Ok r ->
-          Format.printf "workload:    %s (size %d)@." workload size;
-          Format.printf "framework:   %s@." framework;
-          Format.printf "served:      %a@." pp_served resp;
-          Format.printf "report:      %a@." Pom.Hls.Report.pp
-            r.Pom_server.Protocol.report;
-          Format.printf "speedup:     %.1fx over unoptimized (%d cycles)@."
-            r.Pom_server.Protocol.speedup
-            r.Pom_server.Protocol.baseline_latency;
-          if r.Pom_server.Protocol.dse_time_s > 0.0 then
-            Format.printf "DSE time:    %.2f s@."
-              r.Pom_server.Protocol.dse_time_s;
-          List.iter
-            (fun (name, v) ->
-              Format.printf "tiles %-10s [%s]@." name
-                (String.concat ", " (List.map string_of_int v)))
-            r.Pom_server.Protocol.tile_vectors;
-          if trace then
-            List.iter
-              (Format.printf "trace:       %s@.")
-              r.Pom_server.Protocol.trace;
-          if emit_c then begin
-            print_newline ();
-            print_string r.Pom_server.Protocol.hls_c
-          end;
-          if r.Pom_server.Protocol.legality_violations > 0 then begin
-            Format.eprintf
-              "legality:    %d reversed dependences — the schedule is \
-               illegal@."
-              r.Pom_server.Protocol.legality_violations;
-            2
-          end
-          else 0)
+          print_remote_result ~workload ~size ~framework
+            ~served:(Format.asprintf "%a" pp_served resp)
+            ~trace ~emit_c r)
 
 let print_server_stats (s : Pom_server.Protocol.server_stats) =
   Format.printf
@@ -176,6 +240,21 @@ let print_server_stats (s : Pom_server.Protocol.server_stats) =
     s.Pom_server.Protocol.cache_hits s.Pom_server.Protocol.cache_misses
     s.Pom_server.Protocol.cache_entries s.Pom_server.Protocol.queue_depth
     s.Pom_server.Protocol.uptime_s
+
+let print_health (h : Pom_server.Protocol.health) =
+  Format.printf
+    "health:      executor %s (%d respawn(s))@.\
+     queue:       %d deep@.\
+     cache:       %d entries%s@.\
+     uptime:      %.1f s@."
+    (if h.Pom_server.Protocol.h_executor_live then "live" else "stopped")
+    h.Pom_server.Protocol.h_executor_respawns
+    h.Pom_server.Protocol.h_queue_depth h.Pom_server.Protocol.h_cache_entries
+    (match h.Pom_server.Protocol.h_journal_lag with
+    | None -> ", journal off"
+    | Some 0 -> ", journal synced"
+    | Some n -> Printf.sprintf ", journal %d behind" n)
+    h.Pom_server.Protocol.h_uptime_s
 
 let framework_of_string = function
   | "baseline" -> Ok `Baseline
@@ -190,11 +269,14 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
     emit_testbench validate check_legality timeline trace timing dump_after
     verify_each resource_frac jobs jobs_mode chunk _worker deadline on_error
     checkpoint inject list_workloads serve connect queue no_request_cache
-    stop_socket stats_socket =
+    stop_socket stats_socket retries retry_backoff health_socket cache_journal
+    =
   require_positive_int "--jobs" jobs;
   require_positive_int "--chunk" chunk;
   require_positive_int "--size" size;
   require_positive_int "--queue" queue;
+  require_positive_int "--retries" retries;
+  require_positive_float "--retry-backoff" retry_backoff;
   Option.iter (require_positive_float "--deadline") deadline;
   require_positive_float "--resource-fraction" resource_frac;
   Pom.Par.set_jobs jobs;
@@ -223,10 +305,10 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
     0
   end
   else
-    match (serve, stop_socket, stats_socket) with
-    | Some socket, _, _ ->
-        Pom_server.Server.run ~max_queue:queue ~jobs ~socket ()
-    | None, Some socket, _ -> (
+    match (serve, stop_socket, stats_socket, health_socket) with
+    | Some socket, _, _, _ ->
+        Pom_server.Server.run ~max_queue:queue ~jobs ?cache_journal ~socket ()
+    | None, Some socket, _, _ -> (
         match Pom_server.Client.shutdown ~socket with
         | s ->
             print_server_stats s;
@@ -235,7 +317,7 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
             Printf.eprintf "error: cannot connect to %s: %s\n" socket
               (Unix.error_message e);
             1)
-    | None, None, Some socket -> (
+    | None, None, Some socket, _ -> (
         match Pom_server.Client.stats ~socket with
         | s ->
             print_server_stats s;
@@ -244,7 +326,16 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
             Printf.eprintf "error: cannot connect to %s: %s\n" socket
               (Unix.error_message e);
             1)
-    | None, None, None ->
+    | None, None, None, Some socket -> (
+        match Pom_server.Client.ping ~socket with
+        | h ->
+            print_health h;
+            0
+        | exception Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "error: cannot connect to %s: %s\n" socket
+              (Unix.error_message e);
+            1)
+    | None, None, None, None ->
     let named_builder =
       match from_c with
       | Some path -> (
@@ -289,7 +380,7 @@ let run workload from_c size framework schedules lint werror emit_c emit_mlir
             | Some socket ->
                 run_remote ~socket ~device ~fw ~dnn ~deadline
                   ~use_cache:(not no_request_cache) ~trace ~emit_c ~workload
-                  ~size ~framework func
+                  ~size ~framework ~retries ~retry_backoff ~jobs func
             | None ->
             let c =
               Pom.compile ~device ~framework:fw ~dnn ~dump_after ~verify_each
@@ -695,6 +786,47 @@ let server_stats_arg =
           "Print the --serve daemon's request/cache/queue counters and \
            exit.")
 
+let retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "With --connect: retry a failed transport exchange up to $(docv) \
+           times (capped exponential backoff with deterministic jitter) \
+           before degrading to a local in-process compile of the same \
+           request.  Must be positive.")
+
+let retry_backoff_arg =
+  Arg.(
+    value
+    & opt float Pom.Resilience.Retry.default.Pom.Resilience.Retry.base_s
+    & info [ "retry-backoff" ] ~docv:"SECS"
+        ~doc:
+          "With --connect: base delay before the first retry; each further \
+           retry doubles it (capped).  Must be positive.")
+
+let health_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "health" ] ~docv:"SOCKET"
+        ~doc:
+          "Ping the --serve daemon at $(docv) and print its health: \
+           executor liveness and respawn count, queue depth, cache size, \
+           cache-journal durability lag, uptime.  Answered from the \
+           connection thread, never queued behind a compile.")
+
+let cache_journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-journal" ] ~docv:"FILE"
+        ~doc:
+          "With --serve: journal every response-cache insert to $(docv) \
+           (append, flush per record; torn tails truncated on reopen).  A \
+           restarted daemon replays the journal and serves previously \
+           compiled requests as bit-identical cache hits.")
+
 let cmd =
   let doc = "POM: generate an optimized FPGA accelerator for a workload" in
   let exits =
@@ -705,7 +837,10 @@ let cmd =
         ~doc:
           "on usage errors (bad numeric options, unparsable input — \
            POM307), an unbindable --serve socket, or an unreachable \
-           --connect/--stop socket.";
+           --stop/--server-stats/--health socket.  An unreachable \
+           --connect socket is not fatal: after --retries transport \
+           retries the client compiles locally and exits by that \
+           compile's result.";
       Cmd.Exit.info 2
         ~doc:"on analyzer errors or an illegal schedule (POM1xx/POM2xx).";
       Cmd.Exit.info 3
@@ -725,7 +860,8 @@ let cmd =
       $ jobs_arg $ jobs_mode_arg $ chunk_arg $ worker_arg $ deadline_arg
       $ on_error_arg
       $ checkpoint_arg $ inject_arg $ list_arg $ serve_arg $ connect_arg
-      $ queue_arg $ no_request_cache_arg $ stop_arg $ server_stats_arg)
+      $ queue_arg $ no_request_cache_arg $ stop_arg $ server_stats_arg
+      $ retries_arg $ retry_backoff_arg $ health_arg $ cache_journal_arg)
 
 let () =
   (* --worker must not pay for (or be confused by) Cmdliner parsing: the

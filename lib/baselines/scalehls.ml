@@ -273,7 +273,7 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?chunk ?checkpoint
          is submitted as one group — shipped in [chunk]-sized frames to
          the worker processes, or handed whole to the work-stealing
          executor, which splits it only when a worker goes idle. *)
-      let prefetch_ladder =
+      let prefetch_ladder_fn =
         if jobs <= 1 || Pom_par.Pool.in_worker () then None
         else
           match pool with
@@ -289,7 +289,7 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?chunk ?checkpoint
                       (ladder_points u)
                   in
                   if hws <> [] then
-                    let _, items =
+                    let { Pom_dse.Workpool.evaluated = items; _ } =
                       Pom_dse.Workpool.eval_chunks pool ~chunk hws
                     in
                     List.iter
@@ -322,12 +322,20 @@ let greedy_pass ?(cache = Memo.global) ?jobs ?chunk ?checkpoint
                            with _ -> ())
                          [ points ]))
       in
+      (* a pool that exhausts its respawn budget (POM311) retires the
+         prefetch; the greedy walk replays sequentially, same design *)
+      let prefetch_ladder = ref prefetch_ladder_fn in
       if not huge then
         List.iter
           (fun u ->
             if not !stopped then begin
             (* greedy: push this unit as far as the remaining budget allows *)
-            (match prefetch_ladder with Some warm -> warm u | None -> ());
+            (match !prefetch_ladder with
+            | Some warm -> (
+                try warm u
+                with Pom_resilience.Error.Error { code = "POM311"; _ } ->
+                  prefetch_ladder := None)
+            | None -> ());
             let continue_ = ref true in
             List.iter
               (fun par ->

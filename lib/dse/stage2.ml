@@ -488,7 +488,7 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
       (fun g -> List.filter (fun (g', _, _) -> g' = g) fresh)
       groups
   in
-  let prefetch =
+  let prefetch_fn =
     if jobs <= 1 || Pom_par.Pool.in_worker () then None
     else
       match pool with
@@ -505,9 +505,11 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
                   (fresh_frontier ())
               in
               if hws <> [] then begin
-                let n_chunks, items =
+                let before = Workpool.stats pool in
+                let { Workpool.n_chunks; forfeited; evaluated = items } =
                   Workpool.eval_chunks pool ~chunk hws
                 in
+                let after = Workpool.stats pool in
                 List.iter
                   (fun (hw, (it : Workpool.item)) ->
                     Memo.absorb_report cache ~key:it.Workpool.r_key
@@ -538,6 +540,10 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
                       items = List.length hws;
                       steals = 0;
                       splits = 0;
+                      forfeited;
+                      respawns =
+                        after.Pom_par.Procs.respawned
+                        - before.Pom_par.Procs.respawned;
                       worker_items;
                     }
               end)
@@ -570,6 +576,11 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
                          with _ -> ())
                        groups))
   in
+  (* a ref so a pool that burns through its respawn budget (POM311) can
+     retire the prefetch for the rest of the search instead of aborting
+     it — the sequential replay below evaluates everything the warm
+     would have, so the design is unchanged, just slower *)
+  let prefetch = ref prefetch_fn in
   let iterations = ref 0 in
   let pruned = ref 0 in
   (* the analyzer's pre-pruning oracle sees the candidate's scheduled
@@ -586,7 +597,13 @@ let run ?(device = Device.xc7z020) ?(composition = Resource.Reuse)
   let continue_ = ref true in
   while !continue_ && !iterations < 60 do
     incr iterations;
-    (match prefetch with Some warm -> warm () | None -> ());
+    (match !prefetch with
+    | Some warm -> (
+        try warm ()
+        with Pom_resilience.Error.Error { code = "POM311"; message; _ } ->
+          log "parallel: %s; continuing without speculative prefetch" message;
+          prefetch := None)
+    | None -> ());
     let _, _, report = !current in
     match critical_bottleneck ~report ~paths units with
     | None -> continue_ := false

@@ -62,6 +62,12 @@ let main () =
         Some (Workpool.tag_eval, W.to_string Workpool.reply_codec result)
       end
       else if tag = Workpool.tag_eval_chunk then begin
+        (* deterministic chaos site: die mid-chunk like a real OOM-kill
+           would — after the request was read, before any reply.  Armed
+           per worker process through the inherited POM_FAULTS (each
+           worker owns its visit counter), so the supervision tests and
+           [bench chaos] pick exactly which chunk murders which worker. *)
+        if Pom_resilience.Fault.poll "dse:worker-kill" then exit 137;
         let items =
           match !hello with
           | None -> []

@@ -80,13 +80,14 @@ let default_exe () =
 let create ?exe ~jobs ~func ~device ~composition ~latency_mode ~base ?bank_cap
     () =
   let exe = match exe with Some e -> e | None -> default_exe () in
-  let procs = Procs.create ~exe ~args:[ "--worker" ] ~header ~jobs in
+  let procs = Procs.create ~exe ~args:[ "--worker" ] ~header ~jobs () in
   Procs.broadcast procs ~tag:tag_hello
     (W.to_string hello_codec
        { func; device; composition; latency_mode; base; bank_cap });
   { procs; exe; jobs }
 
 let alive t = Procs.alive t.procs
+let stats t = Procs.stats t.procs
 
 (* Spawning a worker costs an exec plus a protocol handshake, and a fresh
    worker starts with cold caches; a DSE sweep (bench repeats, a
@@ -155,6 +156,12 @@ let eval t candidates =
           | Ok None | Error _ -> None))
     replies
 
+type chunk_result = {
+  n_chunks : int;
+  forfeited : int;
+  evaluated : (Schedule.t list * item) list;
+}
+
 let rec split_chunks n = function
   | [] -> []
   | l ->
@@ -171,16 +178,26 @@ let eval_chunks t ~chunk candidates =
   let chunks = split_chunks chunk candidates in
   let payloads = List.map (W.to_string chunk_request_codec) chunks in
   let replies = Procs.rpc t.procs ~tag:tag_eval_chunk payloads in
+  (* candidates forfeited for transport reasons (dead worker, corrupt or
+     short reply) — as opposed to candidates a worker evaluated and found
+     infeasible, which come back as per-item [None]s inside an intact
+     reply and are not losses *)
+  let forfeited = ref 0 in
   let items =
     List.concat
       (List.map2
          (fun chunk reply ->
+           let forfeit () =
+             forfeited := !forfeited + List.length chunk;
+             []
+           in
            match reply with
-           | None -> [] (* a dead worker forfeits only its chunk *)
+           | None -> forfeit () (* a dead worker forfeits only its chunk *)
            | Some payload -> (
                match W.of_string chunk_reply_codec payload with
-               | Error _ -> []
-               | Ok items when List.length items <> List.length chunk -> []
+               | Error _ -> forfeit ()
+               | Ok items when List.length items <> List.length chunk ->
+                   forfeit ()
                | Ok items ->
                    List.concat
                      (List.map2
@@ -191,4 +208,4 @@ let eval_chunks t ~chunk candidates =
                         chunk items)))
          chunks replies)
   in
-  (List.length chunks, items)
+  { n_chunks = List.length chunks; forfeited = !forfeited; evaluated = items }

@@ -74,6 +74,12 @@ val release : t -> unit
 (** Number of live workers. *)
 val alive : t -> int
 
+(** The underlying pool's lifetime supervision counters (spawns,
+    respawns, deaths, forfeited items).  Callers snapshot before/after a
+    search and report the delta — a borrowed registry pool accumulates
+    across searches. *)
+val stats : t -> Pom_par.Procs.stats
+
 (** [eval t candidates]: each candidate is the hardware-directive list
     of one design point (relative to the broadcast base), shipped as its
     own request.  Returns the successfully evaluated points —
@@ -96,16 +102,22 @@ type item = {
   report : Report.t;
 }
 
+(** What one {!eval_chunks} sweep did: chunks shipped, candidates
+    forfeited to transport failures (dead worker, corrupt or short
+    reply — infeasible candidates a worker evaluated are {e not}
+    counted), and the evaluated points paired with their candidate. *)
+type chunk_result = {
+  n_chunks : int;
+  forfeited : int;
+  evaluated : (Schedule.t list * item) list;
+}
+
 (** [eval_chunks t ~chunk candidates] re-chunks the candidates to at
     most [chunk] per request frame, deals the chunks round-robin over
-    the live workers, and returns [(number of chunks shipped, evaluated
-    points paired with their candidate)].  Failed candidates are absent;
-    a dead worker forfeits only its chunks. *)
-val eval_chunks :
-  t ->
-  chunk:int ->
-  Schedule.t list list ->
-  int * (Schedule.t list * item) list
+    the live workers (re-dispatched once by supervision when a worker
+    dies), and returns the sweep's {!chunk_result}.  Failed candidates
+    are absent from [evaluated]. *)
+val eval_chunks : t -> chunk:int -> Schedule.t list list -> chunk_result
 
 val shutdown : t -> unit
 

@@ -28,6 +28,8 @@ type stats = {
   items : int;
   steals : int;
   splits : int;
+  forfeited : int;  (* items lost to dead workers, never evaluated *)
+  respawns : int;  (* worker processes respawned by supervision *)
   worker_items : int array;  (* items processed per worker *)
 }
 
@@ -39,6 +41,8 @@ let zero_stats ~jobs ~chunk_size =
     items = 0;
     steals = 0;
     splits = 0;
+    forfeited = 0;
+    respawns = 0;
     worker_items = Array.make (max 1 jobs) 0;
   }
 
@@ -60,6 +64,8 @@ let merge a b =
     items = a.items + b.items;
     steals = a.steals + b.steals;
     splits = a.splits + b.splits;
+    forfeited = a.forfeited + b.forfeited;
+    respawns = a.respawns + b.respawns;
     worker_items =
       (let n = max (Array.length a.worker_items) (Array.length b.worker_items) in
        Array.init n (fun i ->
@@ -71,7 +77,11 @@ let pp ppf s =
   Format.fprintf ppf
     "%d chunks (size %d) / %d items on %d workers: %d steals, %d splits, \
      occupancy %.2f"
-    s.chunks s.chunk_size s.items s.jobs s.steals s.splits (occupancy s)
+    s.chunks s.chunk_size s.items s.jobs s.steals s.splits (occupancy s);
+  (* health counters only when something actually went wrong: the happy
+     path's line stays stable for log-scraping tests *)
+  if s.forfeited > 0 || s.respawns > 0 then
+    Format.fprintf ppf ", %d forfeited, %d respawns" s.forfeited s.respawns
 
 (* One work unit: a slice of the caller's item array.  [start] is the
    global item index of [items.(off)] — exception ordering and the
@@ -224,6 +234,10 @@ let run ?(jobs = Par_conf.jobs ()) ?(chunk = Par_conf.chunk ()) ~f groups =
       items = total;
       steals = Atomic.get ctx.c_steals;
       splits = Atomic.get ctx.c_splits;
+      (* in-process domains cannot die independently; these counters are
+         fed by the process-sharded path (Procs supervision) *)
+      forfeited = 0;
+      respawns = 0;
       worker_items = ctx.per_worker;
     }
   end

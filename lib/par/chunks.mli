@@ -24,6 +24,10 @@ type stats = {
   items : int;
   steals : int;
   splits : int;
+  forfeited : int;
+      (** items lost to dead workers, never evaluated (process-sharded
+          runs; always 0 for in-process domains) *)
+  respawns : int;  (** worker processes respawned by supervision *)
   worker_items : int array;  (** items processed per worker *)
 }
 

@@ -8,7 +8,39 @@ type worker = {
   mutable alive : bool;
 }
 
-type t = { workers : worker array; mutable open_ : bool }
+type stats = { spawned : int; respawned : int; deaths : int; forfeited : int }
+
+type t = {
+  workers : worker array;
+  mutable open_ : bool;
+  (* respawn recipe: everything needed to rebuild a dead worker *)
+  exe : string;
+  args : string list;
+  header : Frame.header;
+  (* last broadcast payload per tag, in first-send order, replayed into a
+     respawned worker so it rejoins the search mid-flight (the hello that
+     bound the pool to its function/device is a broadcast) *)
+  mutable broadcasts : (int * string) list;
+  supervised : bool;
+  mutable respawn_left : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  mutable backoff_streak : int;  (* consecutive failed respawns *)
+  (* dead-but-unreaped children; reaped opportunistically and at shutdown *)
+  mutable dead : worker list;
+  mutable spawned : int;
+  mutable respawned : int;
+  mutable deaths : int;
+  mutable forfeited : int;
+}
+
+let stats t =
+  {
+    spawned = t.spawned;
+    respawned = t.respawned;
+    deaths = t.deaths;
+    forfeited = t.forfeited;
+  }
 
 (* The parent writes into pipes whose reader can die at any moment; a
    SIGPIPE would kill the whole compile, so writes must fail as
@@ -47,9 +79,9 @@ let reap_blocking w =
   | exception Unix.Unix_error _ -> ()
 
 let reap_all ~grace_s workers =
-  Array.iter (signal_worker Sys.sigterm) workers;
+  List.iter (signal_worker Sys.sigterm) workers;
   let deadline = Unix.gettimeofday () +. Float.max 0.0 grace_s in
-  let pending = ref (Array.to_list workers) in
+  let pending = ref workers in
   let prune () = pending := List.filter (fun w -> not (try_reap w)) !pending in
   prune ();
   while !pending <> [] && Unix.gettimeofday () < deadline do
@@ -59,6 +91,17 @@ let reap_all ~grace_s workers =
   (* past the grace window: the stragglers are presumed wedged *)
   List.iter (signal_worker Sys.sigkill) !pending;
   List.iter reap_blocking !pending
+
+(* a worker observed dead: close its pipes, count it, and park it for
+   reaping (its pid must survive the slot being recycled by a respawn) *)
+let worker_died t w =
+  if w.alive then begin
+    kill_worker w;
+    t.deaths <- t.deaths + 1;
+    t.dead <- w :: t.dead
+  end
+
+let prune_dead t = t.dead <- List.filter (fun w -> not (try_reap w)) t.dead
 
 let spawn exe args =
   let in_read, in_write = Unix.pipe ~cloexec:false () in
@@ -88,15 +131,61 @@ let default_grace_s = 2.0
 let shutdown ?(grace_s = default_grace_s) t =
   if t.open_ then begin
     t.open_ <- false;
-    Array.iter kill_worker t.workers;
-    reap_all ~grace_s t.workers
+    let live = Array.to_list t.workers in
+    List.iter kill_worker live;
+    reap_all ~grace_s (live @ t.dead);
+    t.dead <- []
   end
 
-let create ~exe ~args ~header ~jobs =
+let check_greeting ~header (h : Frame.header) =
+  if h.Frame.kind <> header.Frame.kind then
+    raise
+      (Wire.Corrupt
+         {
+           what = "worker greeting";
+           detail =
+             Printf.sprintf "stream kind %S, expected %S" h.Frame.kind
+               header.Frame.kind;
+         });
+  if h.Frame.version <> header.Frame.version then
+    raise
+      (Wire.Version_mismatch
+         {
+           what = "worker greeting";
+           expected = header.Frame.version;
+           got = h.Frame.version;
+         })
+
+let default_respawn ~jobs = 2 * jobs
+
+let create ?respawn ?(backoff_base_s = 0.05) ?(backoff_max_s = 1.0) ~exe ~args
+    ~header ~jobs () =
   Lazy.force ignore_sigpipe;
   let jobs = max 1 jobs in
+  let respawn =
+    match respawn with Some r -> max 0 r | None -> default_respawn ~jobs
+  in
   let workers = ref [] in
-  let t () = { workers = Array.of_list (List.rev !workers); open_ = true } in
+  let t () =
+    {
+      workers = Array.of_list (List.rev !workers);
+      open_ = true;
+      exe;
+      args;
+      header;
+      broadcasts = [];
+      supervised = respawn > 0;
+      respawn_left = respawn;
+      backoff_base_s;
+      backoff_max_s;
+      backoff_streak = 0;
+      dead = [];
+      spawned = List.length !workers;
+      respawned = 0;
+      deaths = 0;
+      forfeited = 0;
+    }
+  in
   try
     for _ = 1 to jobs do
       workers := spawn exe args :: !workers
@@ -111,23 +200,7 @@ let create ~exe ~args ~header ~jobs =
     List.iter
       (fun w ->
         let h = Frame.input_header ~what:"worker greeting" w.from_w in
-        if h.Frame.kind <> header.Frame.kind then
-          raise
-            (Wire.Corrupt
-               {
-                 what = "worker greeting";
-                 detail =
-                   Printf.sprintf "stream kind %S, expected %S" h.Frame.kind
-                     header.Frame.kind;
-               });
-        if h.Frame.version <> header.Frame.version then
-          raise
-            (Wire.Version_mismatch
-               {
-                 what = "worker greeting";
-                 expected = header.Frame.version;
-                 got = h.Frame.version;
-               }))
+        check_greeting ~header h)
       !workers;
     t ()
   with e ->
@@ -137,32 +210,108 @@ let create ~exe ~args ~header ~jobs =
 let alive t =
   Array.fold_left (fun n w -> if w.alive then n + 1 else n) 0 t.workers
 
+(* Supervision: replace the dead worker in slot [wi] with a fresh process,
+   under the pool's capped respawn budget and an exponential backoff that
+   grows with consecutive failures.  The newcomer is handshaken and fed
+   every remembered broadcast, so from the caller's side it is
+   indistinguishable from the original.  Returns false when the budget is
+   spent or the respawn itself failed (that attempt still consumed
+   budget — a flapping executable cannot respawn-loop forever). *)
+let try_respawn t wi =
+  t.supervised && t.open_ && t.respawn_left > 0
+  && begin
+       t.respawn_left <- t.respawn_left - 1;
+       let delay =
+         Float.min t.backoff_max_s
+           (t.backoff_base_s *. (2.0 ** float_of_int t.backoff_streak))
+       in
+       if delay > 0.0 then Unix.sleepf delay;
+       match
+         let w = spawn t.exe t.args in
+         t.spawned <- t.spawned + 1;
+         (w,
+          ( Frame.output_header w.to_w t.header;
+            flush w.to_w;
+            check_greeting ~header:t.header
+              (Frame.input_header ~what:"worker greeting" w.from_w);
+            List.iter
+              (fun (tag, payload) ->
+                Frame.output_record w.to_w ~tag payload;
+                flush w.to_w)
+              t.broadcasts ))
+       with
+       | w, () ->
+           t.workers.(wi) <- w;
+           t.respawned <- t.respawned + 1;
+           t.backoff_streak <- 0;
+           prune_dead t;
+           true
+       | exception _ ->
+           t.backoff_streak <- t.backoff_streak + 1;
+           false
+     end
+
+let remember_broadcast t ~tag payload =
+  let rec replace = function
+    | [] -> [ (tag, payload) ]
+    | (tg, _) :: rest when tg = tag -> (tag, payload) :: rest
+    | kv :: rest -> kv :: replace rest
+  in
+  t.broadcasts <- replace t.broadcasts
+
 let broadcast t ~tag payload =
-  Array.iter
-    (fun w ->
+  remember_broadcast t ~tag payload;
+  Array.iteri
+    (fun wi w ->
       if w.alive then
         try
           Frame.output_record w.to_w ~tag payload;
           flush w.to_w
-        with Sys_error _ -> kill_worker w)
+        with Sys_error _ ->
+          worker_died t w;
+          (* the replayed broadcasts include this one, so a successful
+             respawn needs no re-send *)
+          ignore (try_respawn t wi))
     t.workers
+
+exception Respawn_exhausted
 
 let rpc t ~tag payloads =
   let items = Array.of_list payloads in
   let m = Array.length items in
   let results = Array.make m None in
+  (* exactly-once re-dispatch: an in-flight item whose worker died is
+     retried on the healed pool once; a second death forfeits it (a
+     poison item must not grind through every worker) *)
+  let redispatched = Array.make m false in
   let n = Array.length t.workers in
   let queues = Array.make n [] in
   Array.iteri (fun i _ -> queues.(i mod n) <- i :: queues.(i mod n)) items;
   let queues = Array.map List.rev queues in
   let outstanding = Array.make n (-1) in
+  let forfeit _i = t.forfeited <- t.forfeited + 1 in
+  (* the dead worker's undelivered work: the in-flight item (subject to
+     the exactly-once rule) then its queued share *)
+  let orphans wi =
+    let pending = queues.(wi) in
+    queues.(wi) <- [];
+    let inflight = outstanding.(wi) in
+    outstanding.(wi) <- -1;
+    if inflight < 0 then pending
+    else if redispatched.(inflight) then begin
+      forfeit inflight;
+      pending
+    end
+    else begin
+      redispatched.(inflight) <- true;
+      inflight :: pending
+    end
+  in
   let rec send_next wi =
     let w = t.workers.(wi) in
     match queues.(wi) with
     | [] -> ()
-    | _ :: _ when not w.alive ->
-        (* dead worker: its share is lost (speculative work only) *)
-        queues.(wi) <- []
+    | _ :: _ when not w.alive -> handle_death wi
     | i :: rest -> (
         queues.(wi) <- rest;
         match
@@ -171,29 +320,85 @@ let rpc t ~tag payloads =
         with
         | () -> outstanding.(wi) <- i
         | exception Sys_error _ ->
-            kill_worker w;
-            send_next wi)
+            (* never delivered: not a re-execution, exempt from the
+               exactly-once bookkeeping *)
+            queues.(wi) <- i :: rest;
+            handle_death wi)
+  and handle_death wi =
+    worker_died t t.workers.(wi);
+    let pending = orphans wi in
+    if try_respawn t wi then begin
+      queues.(wi) <- pending;
+      send_next wi
+    end
+    else if not t.supervised then
+      (* unsupervised pools keep the historical contract: a dead worker
+         forfeits its share (speculative work only) — but the loss is
+         now counted, not silent *)
+      List.iter forfeit pending
+    else begin
+      let live =
+        Array.to_list
+          (Array.mapi (fun i w -> (i, w)) t.workers)
+        |> List.filter_map (fun (i, w) -> if w.alive then Some i else None)
+      in
+      match live with
+      | [] ->
+          (* a supervised pool with no workers left and no budget to heal:
+             typed failure, the caller degrades loudly (POM311) *)
+          List.iter forfeit pending;
+          raise Respawn_exhausted
+      | live ->
+          let nl = List.length live in
+          List.iteri
+            (fun k i ->
+              let v = List.nth live (k mod nl) in
+              queues.(v) <- queues.(v) @ [ i ])
+            pending;
+          List.iter
+            (fun v -> if outstanding.(v) < 0 then send_next v)
+            live
+    end
   in
-  for wi = 0 to n - 1 do
-    send_next wi
-  done;
+  let pom311 () =
+    Pom_resilience.Error.Error
+      (Pom_resilience.Error.make ~code:"POM311"
+         ~context:[ Filename.basename t.exe ]
+         (Printf.sprintf
+            "worker pool lost all %d workers and the respawn budget is \
+             exhausted (%d respawns used)"
+            n t.respawned))
+  in
+  (match
+     for wi = 0 to n - 1 do
+       send_next wi
+     done
+   with
+  | () -> ()
+  | exception Respawn_exhausted -> raise (pom311 ()));
   let busy () = Array.exists (fun i -> i >= 0) outstanding in
-  while busy () do
-    for wi = 0 to n - 1 do
-      if outstanding.(wi) >= 0 then begin
-        let w = t.workers.(wi) in
-        let i = outstanding.(wi) in
-        (match Frame.input_record ~what:"worker reply" w.from_w with
-        | Some (rtag, payload) when rtag = tag -> results.(i) <- Some payload
-        | Some _ -> () (* unrecognized reply tag: item unanswered *)
-        | None -> kill_worker w
-        | exception (Wire.Corrupt _ | Sys_error _ | End_of_file) ->
-            kill_worker w);
-        outstanding.(wi) <- -1;
-        send_next wi
-      end
-    done
-  done;
+  (try
+     while busy () do
+       for wi = 0 to n - 1 do
+         if outstanding.(wi) >= 0 then begin
+           let w = t.workers.(wi) in
+           let i = outstanding.(wi) in
+           match Frame.input_record ~what:"worker reply" w.from_w with
+           | Some (rtag, payload) when rtag = tag ->
+               results.(i) <- Some payload;
+               outstanding.(wi) <- -1;
+               send_next wi
+           | Some _ ->
+               (* unrecognized reply tag: item unanswered *)
+               outstanding.(wi) <- -1;
+               send_next wi
+           | None -> handle_death wi
+           | exception (Wire.Corrupt _ | Sys_error _ | End_of_file) ->
+               handle_death wi
+         end
+       done
+     done
+   with Respawn_exhausted -> raise (pom311 ()));
   Array.to_list results
 
 let serve ~header handle =

@@ -9,41 +9,83 @@
     can fill a pipe while the other is blocked writing — deadlock-free
     without select loops or threads.
 
-    Failure model: a worker that dies, writes garbage, or fails its CRC
-    is marked dead and its undelivered items come back as [None].  The
-    pool is used for speculative cache warming, so lost work degrades
-    throughput, never correctness. *)
+    Failure model — supervised (the default): a worker that dies,
+    writes garbage, or fails its CRC is detected, counted, and
+    respawned under a capped per-pool budget with exponential backoff.
+    The replacement is handshaken and replayed every prior broadcast,
+    and the dead worker's undelivered items are re-dispatched
+    {e exactly once} — an item whose second worker also dies is
+    forfeited, so a poison item cannot grind through the whole pool.
+    Only when the budget is exhausted {e and} no live worker remains
+    does {!rpc} raise a typed [POM311]
+    ({!Pom_resilience.Error.Error}); with survivors, orphaned work is
+    redistributed and the call completes.
+
+    Unsupervised ([respawn:0]): the historical contract — a dead
+    worker's items come back as [None] — but the loss is counted in
+    {!stats}, never silent.  The pool is used for speculative cache
+    warming, so lost work degrades throughput, never correctness. *)
 
 type t
+
+(** Lifetime health counters of a pool.  [spawned] counts every process
+    ever started (initial workers plus respawns), [respawned] the
+    successful replacements, [deaths] the workers observed dead, and
+    [forfeited] the items lost for good (dead unsupervised worker's
+    share, a re-dispatched item's second death, or budget exhaustion). *)
+type stats = { spawned : int; respawned : int; deaths : int; forfeited : int }
+
+val stats : t -> stats
 
 (** [create ~exe ~args ~header ~jobs] spawns [jobs] workers running
     [exe args] with piped stdin/stdout (stderr inherited), writes
     [header] to each and checks the header each sends back.  Raises
     [Unix.Unix_error] when the executable cannot be spawned and
     {!Pom_wire.Wire.Corrupt}/{!Pom_wire.Wire.Version_mismatch} when a
-    worker's greeting is wrong (the pool is torn down first). *)
+    worker's greeting is wrong (the pool is torn down first).
+
+    [respawn] caps the pool's lifetime respawn budget (default
+    [2 * jobs]); [0] disables supervision entirely.  A failed respawn
+    attempt (spawn error, bad greeting) also consumes budget, and each
+    consecutive failure doubles the pre-respawn backoff from
+    [backoff_base_s] (default 0.05 s) up to [backoff_max_s] (default
+    1 s) — a flapping executable cannot respawn-loop at full speed. *)
 val create :
-  exe:string -> args:string list -> header:Pom_wire.Frame.header -> jobs:int -> t
+  ?respawn:int ->
+  ?backoff_base_s:float ->
+  ?backoff_max_s:float ->
+  exe:string ->
+  args:string list ->
+  header:Pom_wire.Frame.header ->
+  jobs:int ->
+  unit ->
+  t
 
 (** Number of live workers. *)
 val alive : t -> int
 
 (** Send one fire-and-forget record to every live worker (e.g. a shared
-    problem description all later requests refer to). *)
+    problem description all later requests refer to).  The latest
+    payload per tag is remembered and replayed, in first-send order,
+    into every worker respawned later — so a replacement joins with the
+    same shared state its predecessor had. *)
 val broadcast : t -> tag:int -> string -> unit
 
 (** [rpc t ~tag payloads] deals the payloads round-robin over the live
     workers, one in flight per worker, and returns each item's reply
-    payload in input order — [None] for items lost to a dead worker or
-    answered with a different tag. *)
+    payload in input order — [None] for items lost to a dead worker
+    (after the supervised re-dispatch described above) or answered with
+    a different tag.  Raises [POM311] only when supervision is enabled,
+    the respawn budget is spent, and no live worker remains. *)
 val rpc : t -> tag:int -> string list -> string option list
 
 (** Close every worker's stdin (the workers see EOF and exit), send
     SIGTERM, and reap without ever blocking on a wedged child: workers
     still unreaped after polling [waitpid WNOHANG] over the [grace_s]
     (default 2 s) grace window are SIGKILLed and then reaped — a killed
-    process is guaranteed to become reapable.  Idempotent; always
-    returns within roughly the grace window. *)
+    process is guaranteed to become reapable.  Also reaps workers that
+    died earlier and were replaced.  Idempotent; always returns within
+    roughly the grace window. *)
 val shutdown : ?grace_s:float -> t -> unit
 
 (** Worker side: read the parent's header from stdin (checking it

@@ -19,7 +19,8 @@ let fsync_channel oc =
   try Unix.fsync (Unix.descr_of_out_channel oc)
   with Unix.Unix_error _ | Sys_error _ -> ()
 
-let kind = "pom-dse-journal"
+let default_kind = "pom-dse-journal"
+let kind = default_kind
 let version = 2
 let record_tag = 1
 let record_codec = Wire.pair Wire.string Wire.string
@@ -58,7 +59,7 @@ type verdict =
   | Intact of (string * string) list * int * string list
   | Restart of string option  (* note, when an old file is discarded *)
 
-let examine path =
+let examine ~kind ~version path =
   if not (Sys.file_exists path) then Restart None
   else begin
     let ic = open_in_bin path in
@@ -92,9 +93,10 @@ let examine path =
     verdict
   end
 
-let load ?(fsync_each = false) path =
+let load ?(fsync_each = false) ?(kind = default_kind) ?(version = version) path
+    =
   let records, notes =
-    match examine path with
+    match examine ~kind ~version path with
     | Intact (records, good, notes) ->
         let size = (Unix.stat path).Unix.st_size in
         let notes =

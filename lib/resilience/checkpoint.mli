@@ -20,7 +20,10 @@
 
 type t
 
-(** The stream kind written in the header. *)
+(** The default stream kind written in the header (the DSE journal);
+    other keyed journals (the compile server's response-cache journal,
+    kind ["pom-cache-journal"]) pass their own [kind] to {!load} and
+    inherit the identical truncation/restart contract. *)
 val kind : string
 
 (** The schema version of the record payload codecs.  Bump when the
@@ -38,8 +41,18 @@ val version : int
     additionally fsyncs, so a cleanly closed journal survives a
     *machine* crash too.  With [fsync_each] (default false) every
     append fsyncs before returning — full machine-crash durability per
-    acknowledged record, at a heavy per-append cost. *)
-val load : ?fsync_each:bool -> string -> t * (string * string) list * string list
+    acknowledged record, at a heavy per-append cost.
+
+    [kind]/[version] override the stream identity (default: the DSE
+    journal's); a file carrying any other kind or version is restarted
+    empty, so two journal flavours can never be confused for each
+    other. *)
+val load :
+  ?fsync_each:bool ->
+  ?kind:string ->
+  ?version:int ->
+  string ->
+  t * (string * string) list * string list
 
 (** Append one record and flush it to the OS (and fsync it, when the
     journal was loaded with [fsync_each]).  Thread-safe. *)

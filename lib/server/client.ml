@@ -21,17 +21,44 @@ let unexpected () =
 let compile ~socket req =
   match roundtrip ~socket (Protocol.Compile req) with
   | Protocol.Response r -> r
-  | Protocol.Server_stats _ -> unexpected ()
+  | Protocol.Server_stats _ | Protocol.Health _ -> unexpected ()
 
 let stats ~socket =
   match roundtrip ~socket Protocol.Stats with
   | Protocol.Server_stats s -> s
-  | Protocol.Response _ -> unexpected ()
+  | Protocol.Response _ | Protocol.Health _ -> unexpected ()
 
 let shutdown ~socket =
   match roundtrip ~socket Protocol.Shutdown with
   | Protocol.Server_stats s -> s
-  | Protocol.Response _ -> unexpected ()
+  | Protocol.Response _ | Protocol.Health _ -> unexpected ()
+
+let ping ~socket =
+  match roundtrip ~socket Protocol.Ping with
+  | Protocol.Health h -> h
+  | Protocol.Response _ | Protocol.Server_stats _ -> unexpected ()
+
+(* What a retry may safely chase: the daemon restarting (connection
+   refused / socket gone / reset) or dying mid-exchange (EOF, torn
+   frame).  A typed error response is NOT retriable — it answers the
+   request — and a version mismatch will not improve on attempt two. *)
+let transient = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EPIPE
+        | Unix.ETIMEDOUT ),
+        _,
+        _ )
+  | End_of_file
+  | Pom_wire.Wire.Corrupt _
+  | Sys_error _ ->
+      true
+  | _ -> false
+
+let compile_retry ?(policy = Pom_resilience.Retry.default) ?on_retry ~socket
+    req =
+  Pom_resilience.Retry.run ~policy ?deadline_s:req.Protocol.deadline_s
+    ?on_retry ~retry_on:transient (fun () ->
+      compile ~socket req)
 
 let request ?(id = 0) ?(device = Pom_hls.Device.xc7z020)
     ?(framework = `Pom_manual) ?(dnn = false) ?deadline_s ?(use_cache = true)

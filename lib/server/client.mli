@@ -11,6 +11,25 @@
     overload, ...); transport-level failures raise. *)
 val compile : socket:string -> Protocol.request -> Protocol.response
 
+(** As {!compile}, but transport-level failures (connection refused,
+    socket vanished, server died mid-exchange, torn frame) are retried
+    under the {!Pom_resilience.Retry} policy — capped exponential
+    backoff, deterministic seeded jitter, bounded by the request's own
+    [deadline_s] when set.  Typed error {e responses} are never
+    retried: they answer the request.  When every attempt fails, the
+    last transport exception is re-raised — callers then degrade (the
+    CLI falls back to a local in-process compile). *)
+val compile_retry :
+  ?policy:Pom_resilience.Retry.policy ->
+  ?on_retry:(attempt:int -> delay_s:float -> exn -> unit) ->
+  socket:string ->
+  Protocol.request ->
+  Protocol.response
+
+(** Liveness probe: answered from the connection thread, never queued
+    behind a compile. *)
+val ping : socket:string -> Protocol.health
+
 (** Server counters (requests, cache hits, queue depth, uptime). *)
 val stats : socket:string -> Protocol.server_stats
 

@@ -64,8 +64,21 @@ type server_stats = {
   uptime_s : float;
 }
 
-type client_msg = Compile of request | Stats | Shutdown
-type server_msg = Response of response | Server_stats of server_stats
+type health = {
+  h_uptime_s : float;
+  h_queue_depth : int;
+  h_executor_live : bool;
+  h_executor_respawns : int;
+  h_cache_entries : int;
+  h_journal_lag : int option;
+}
+
+type client_msg = Compile of request | Stats | Shutdown | Ping
+
+type server_msg =
+  | Response of response
+  | Server_stats of server_stats
+  | Health of health
 
 (* -------- codecs -------- *)
 
@@ -193,6 +206,25 @@ let server_stats_codec : server_stats Wire.t =
         uptime_s;
       })
 
+let health_codec : health Wire.t =
+  Wire.record6 "health"
+    (Wire.field "uptime_s" Wire.float (fun h -> h.h_uptime_s))
+    (Wire.field "queue_depth" Wire.int (fun h -> h.h_queue_depth))
+    (Wire.field "executor_live" Wire.bool (fun h -> h.h_executor_live))
+    (Wire.field "executor_respawns" Wire.int (fun h -> h.h_executor_respawns))
+    (Wire.field "cache_entries" Wire.int (fun h -> h.h_cache_entries))
+    (Wire.field "journal_lag" (Wire.option Wire.int) (fun h -> h.h_journal_lag))
+    (fun h_uptime_s h_queue_depth h_executor_live h_executor_respawns
+         h_cache_entries h_journal_lag ->
+      {
+        h_uptime_s;
+        h_queue_depth;
+        h_executor_live;
+        h_executor_respawns;
+        h_cache_entries;
+        h_journal_lag;
+      })
+
 (* -------- cache key -------- *)
 
 let framework_tag = function
@@ -223,8 +255,15 @@ let cache_key r =
 let tag_compile = 1
 let tag_stats = 2
 let tag_shutdown = 3
+let tag_ping = 4
 let tag_response = 1
 let tag_server_stats = 2
+let tag_health = 3
+
+(* The durable response cache is a {!Pom_resilience.Checkpoint} journal
+   with its own stream kind, so a DSE journal handed to [--cache-journal]
+   (or vice versa) is restarted empty instead of misread. *)
+let cache_journal_kind = "pom-cache-journal"
 
 (* -------- channel IO -------- *)
 
@@ -236,7 +275,8 @@ let write_client_msg oc msg =
         (Wire.to_string request_codec r)
   | Stats -> Frame.output_record oc ~tag:tag_stats (Wire.to_string Wire.unit ())
   | Shutdown ->
-      Frame.output_record oc ~tag:tag_shutdown (Wire.to_string Wire.unit ()));
+      Frame.output_record oc ~tag:tag_shutdown (Wire.to_string Wire.unit ())
+  | Ping -> Frame.output_record oc ~tag:tag_ping (Wire.to_string Wire.unit ()));
   flush oc
 
 let corrupt what detail = raise (Wire.Corrupt { what; detail })
@@ -259,6 +299,7 @@ let read_client_msg ?(max_payload = default_max_request_payload) ic =
         Compile (Wire.of_string_exn request_codec payload)
       else if tag = tag_stats then Stats
       else if tag = tag_shutdown then Shutdown
+      else if tag = tag_ping then Ping
       else corrupt what (Printf.sprintf "unknown request tag %d" tag)
 
 let write_server_msg oc msg =
@@ -269,7 +310,9 @@ let write_server_msg oc msg =
         (Wire.to_string response_codec r)
   | Server_stats s ->
       Frame.output_record oc ~tag:tag_server_stats
-        (Wire.to_string server_stats_codec s));
+        (Wire.to_string server_stats_codec s)
+  | Health h ->
+      Frame.output_record oc ~tag:tag_health (Wire.to_string health_codec h));
   flush oc
 
 let read_server_msg ic =
@@ -283,7 +326,24 @@ let read_server_msg ic =
         Response (Wire.of_string_exn response_codec payload)
       else if tag = tag_server_stats then
         Server_stats (Wire.of_string_exn server_stats_codec payload)
+      else if tag = tag_health then
+        Health (Wire.of_string_exn health_codec payload)
       else corrupt what (Printf.sprintf "unknown response tag %d" tag)
+
+(* Shared by the server's executor and the CLI's local-fallback path, so
+   a design compiled locally after retries exhaust is, field for field,
+   the result the server would have sent. *)
+let result_of_compiled (c : Pom.compiled) =
+  {
+    report = c.Pom.report;
+    hls_c = c.Pom.hls_c;
+    speedup = Pom.speedup c;
+    dse_time_s = c.Pom.dse_time_s;
+    baseline_latency = c.Pom.baseline_latency;
+    legality_violations = c.Pom.legality_violations;
+    tile_vectors = c.Pom.tile_vectors;
+    trace = c.Pom.trace;
+  }
 
 let error_of_exn e =
   let t = Pom_resilience.Error.of_exn ~code:"POM300" e in

@@ -13,7 +13,9 @@
       directives, device, framework, deadline, cache preference);
     - [2] — stats: empty payload, answered with {!server_stats};
     - [3] — shutdown: empty payload, answered with {!server_stats}
-      after the stop flag is set.
+      after the stop flag is set;
+    - [4] — ping: empty payload, answered with {!health} (response tag
+      [3]) — the liveness probe never touches the compile queue.
 
     Unknown request tags are answered with a POM308 error response
     (forward compatibility belongs to the framing layer, but a server
@@ -94,8 +96,26 @@ type server_stats = {
   uptime_s : float;
 }
 
-type client_msg = Compile of request | Stats | Shutdown
-type server_msg = Response of response | Server_stats of server_stats
+(** The answer to a ping: enough to decide "is this daemon healthy"
+    without queueing behind a compile.  [h_journal_lag] is [Some n]
+    when response-cache journaling is on, with [n] the cached responses
+    not yet durable on disk (0 = fully journaled); [None] means
+    journaling is disabled. *)
+type health = {
+  h_uptime_s : float;
+  h_queue_depth : int;
+  h_executor_live : bool;
+  h_executor_respawns : int;
+  h_cache_entries : int;
+  h_journal_lag : int option;
+}
+
+type client_msg = Compile of request | Stats | Shutdown | Ping
+
+type server_msg =
+  | Response of response
+  | Server_stats of server_stats
+  | Health of health
 
 (** Codecs (exported for fuzzing and round-trip tests). *)
 
@@ -103,6 +123,18 @@ val request_codec : request Pom_wire.Wire.t
 val response_codec : response Pom_wire.Wire.t
 val server_stats_codec : server_stats Pom_wire.Wire.t
 val result_codec : result Pom_wire.Wire.t
+val health_codec : health Pom_wire.Wire.t
+
+(** Stream kind of the server's durable response-cache journal (a
+    {!Pom_resilience.Checkpoint} with [key = cache_key], [data] a
+    wire-encoded {!result}); distinct from the DSE journal's kind so
+    the two can never be confused. *)
+val cache_journal_kind : string
+
+(** Project the compile artifact onto the wire subset — used by the
+    server's executor {e and} the client's local-fallback path, so both
+    produce field-identical results. *)
+val result_of_compiled : Pom.compiled -> result
 
 (** The cross-request cache key of a compile request: a digest over the
     function fingerprint, its attached directives, the device, the

@@ -1,4 +1,5 @@
 module Budget = Pom_resilience.Budget
+module Checkpoint = Pom_resilience.Checkpoint
 module Memo = Pom_pipeline.Memo
 
 let default_max_queue = 16
@@ -47,12 +48,20 @@ type t = {
   (* cross-request response cache + counters, under [sm] *)
   sm : Mutex.t;
   cache : (string, Protocol.result) Hashtbl.t;
+  (* durable mirror of [cache]: every insert is appended (key,
+     wire-encoded result) so a restarted daemon warm-starts from disk.
+     [journaled] counts entries known durable; cache size minus it is
+     the journal lag the health probe reports. *)
+  journal : Checkpoint.t option;
+  mutable journaled : int;
   mutable requests : int;
   mutable succeeded : int;
   mutable failed : int;
   mutable rejected : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable executor_respawns : int;
+  executor_live : bool Atomic.t;
   started_at : float;
   live_conns : int Atomic.t;
   mutable accept_thread : Thread.t option;
@@ -103,16 +112,42 @@ let memo_delta (before : Memo.counters) (after : Memo.counters) =
     plan_misses = after.Memo.plan_misses - before.Memo.plan_misses;
   }
 
-let result_of_compiled (c : Pom.compiled) =
+(* First write wins, mirrored to the journal when one is configured.  A
+   failed append (disk full, journal on a dead mount) costs durability,
+   not the request: the in-memory cache still serves, and the health
+   probe reports the growing lag.  Caller holds [sm]. *)
+let cache_insert t key result =
+  if not (Hashtbl.mem t.cache key) then begin
+    Hashtbl.replace t.cache key result;
+    match t.journal with
+    | None -> ()
+    | Some j -> (
+        try
+          Checkpoint.append j ~key
+            ~data:(Pom_wire.Wire.to_string Protocol.result_codec result);
+          t.journaled <- t.journaled + 1
+        with _ -> ())
+  end
+
+let health t =
+  Mutex.lock t.sm;
+  let entries = Hashtbl.length t.cache in
+  let journaled = t.journaled in
+  let respawns = t.executor_respawns in
+  let has_journal = t.journal <> None in
+  Mutex.unlock t.sm;
   {
-    Protocol.report = c.Pom.report;
-    hls_c = c.Pom.hls_c;
-    speedup = Pom.speedup c;
-    dse_time_s = c.Pom.dse_time_s;
-    baseline_latency = c.Pom.baseline_latency;
-    legality_violations = c.Pom.legality_violations;
-    tile_vectors = c.Pom.tile_vectors;
-    trace = c.Pom.trace;
+    Protocol.h_uptime_s = Unix.gettimeofday () -. t.started_at;
+    h_queue_depth =
+      (Mutex.lock t.qm;
+       let d = Queue.length t.queue in
+       Mutex.unlock t.qm;
+       d);
+    h_executor_live = Atomic.get t.executor_live;
+    h_executor_respawns = respawns;
+    h_cache_entries = entries;
+    h_journal_lag =
+      (if has_journal then Some (max 0 (entries - journaled)) else None);
   }
 
 let execute t (job : job) =
@@ -158,7 +193,7 @@ let execute t (job : job) =
                 ~jobs:t.jobs req.Protocol.func)
         with
         | c ->
-            let result = result_of_compiled c in
+            let result = Protocol.result_of_compiled c in
             Mutex.lock t.sm;
             t.succeeded <- t.succeeded + 1;
             (* only successful compiles enter the cache (a deadline-shaped
@@ -166,8 +201,7 @@ let execute t (job : job) =
                write wins: a cache-bypassing recompile reproduces the
                design but not the stopwatch fields, and cached responses
                must stay bit-stable across it *)
-            if not (Hashtbl.mem t.cache key) then
-              Hashtbl.replace t.cache key result;
+            cache_insert t key result;
             Mutex.unlock t.sm;
             {
               Protocol.r_id = req.Protocol.id;
@@ -190,50 +224,95 @@ let execute t (job : job) =
   in
   settle job resp
 
+let next_job t =
+  Mutex.lock t.qm;
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then begin
+      let j = Queue.pop t.queue in
+      Mutex.unlock t.qm;
+      Some j
+    end
+    else if t.queue_closed then begin
+      Mutex.unlock t.qm;
+      None
+    end
+    else begin
+      Condition.wait t.qc t.qm;
+      wait ()
+    end
+  in
+  wait ()
+
+let run_job t (job : job) =
+  if Atomic.get job.cancelled then begin
+    (* client gone before we started: account it, skip the work *)
+    Mutex.lock t.sm;
+    t.failed <- t.failed + 1;
+    Mutex.unlock t.sm;
+    settle job
+      {
+        Protocol.r_id = job.req.Protocol.id;
+        served = Protocol.Computed;
+        memo = zero_memo;
+        wall_s = 0.0;
+        outcome =
+          Stdlib.Error
+            {
+              Protocol.code = "POM301";
+              message = "client disconnected before compile started";
+              context = [];
+            };
+      }
+  end
+  else begin
+    (* deterministic chaos site: an "executor bug" striking between jobs —
+       exactly the class of exception [execute]'s own typed-error mapping
+       cannot absorb *)
+    Pom_resilience.Fault.point "server:executor";
+    execute t job
+  end
+
+(* The executor is supervised: [execute] maps everything a compile can
+   throw onto a typed error response, so an exception escaping here is an
+   executor bug — under the old blanket [try ... with _ -> ()] it was
+   swallowed with the client left waiting on a job that would never
+   settle.  Now it is logged, charged to the in-flight request alone as a
+   typed POM312, and the loop respawns for the next job; the daemon stays
+   up and the health probe reports the respawn count. *)
 let executor t () =
   let rec next () =
-    Mutex.lock t.qm;
-    let rec wait () =
-      if not (Queue.is_empty t.queue) then begin
-        let j = Queue.pop t.queue in
-        Mutex.unlock t.qm;
-        Some j
-      end
-      else if t.queue_closed then begin
-        Mutex.unlock t.qm;
-        None
-      end
-      else begin
-        Condition.wait t.qc t.qm;
-        wait ()
-      end
-    in
-    match wait () with
-    | None -> ()
+    match next_job t with
+    | None -> Atomic.set t.executor_live false
     | Some job ->
-        (if Atomic.get job.cancelled then begin
-           (* client gone before we started: account it, skip the work *)
-           Mutex.lock t.sm;
-           t.failed <- t.failed + 1;
-           Mutex.unlock t.sm;
-           settle job
-             {
-               Protocol.r_id = job.req.Protocol.id;
-               served = Protocol.Computed;
-               memo = zero_memo;
-               wall_s = 0.0;
-               outcome =
-                 Stdlib.Error
-                   {
-                     Protocol.code = "POM301";
-                     message = "client disconnected before compile started";
-                     context = [];
-                   };
-             }
-         end
-         else
-           (* the executor must survive anything a job throws *)
-           try execute t job with _ -> ());
+        (match run_job t job with
+        | () -> ()
+        | exception e ->
+            Mutex.lock t.sm;
+            t.failed <- t.failed + 1;
+            t.executor_respawns <- t.executor_respawns + 1;
+            Mutex.unlock t.sm;
+            Printf.eprintf
+              "pom_compile --serve: executor crashed (%s); respawning \
+               (POM312)\n\
+               %!"
+              (Printexc.to_string e);
+            settle job
+              {
+                Protocol.r_id = job.req.Protocol.id;
+                served = Protocol.Computed;
+                memo = zero_memo;
+                wall_s = 0.0;
+                outcome =
+                  Stdlib.Error
+                    {
+                      Protocol.code = "POM312";
+                      message =
+                        "server executor crashed mid-request and was \
+                         respawned; only this request failed: "
+                        ^ Printexc.to_string e;
+                      context = [];
+                    };
+              });
         next ()
   in
   next ()
@@ -317,6 +396,7 @@ let handle_connection t fd =
   let ic = Unix.in_channel_of_descr fd in
   match Protocol.read_client_msg ~max_payload:t.max_payload ic with
   | Protocol.Stats -> send_response fd (Protocol.Server_stats (stats t))
+  | Protocol.Ping -> send_response fd (Protocol.Health (health t))
   | Protocol.Shutdown ->
       Atomic.set t.stop true;
       send_response fd (Protocol.Server_stats (stats t))
@@ -391,19 +471,92 @@ let acceptor t () =
   Condition.broadcast t.qc;
   Mutex.unlock t.qm
 
+(* Stale-socket recovery: a daemon killed with SIGKILL leaves its socket
+   file behind, and blindly unlinking it would silently kill a healthy
+   daemon's endpoint when two [--serve]s race.  So probe first: only a
+   socket file nobody answers on is stale and safe to remove.  A live
+   listener raises EADDRINUSE here (the caller reports "already
+   running"), and a path that is not a socket at all is never touched —
+   bind fails on it with its own error instead. *)
+let remove_stale_socket socket =
+  match (Unix.lstat socket).Unix.st_kind with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | Unix.S_SOCK -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let verdict =
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Stale
+        | exception Unix.Unix_error _ ->
+            (* permissions, interrupt, ...: cannot prove it dead *)
+            `Live
+      in
+      close_quietly fd;
+      match verdict with
+      | `Live ->
+          raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", socket))
+      | `Stale -> ( try Unix.unlink socket with Unix.Unix_error _ -> ()))
+  | _ -> (* a regular file or directory is the user's, not ours *) ()
+
 let start ?(max_queue = default_max_queue)
-    ?(max_payload = Protocol.default_max_request_payload) ?(jobs = 1) ~socket ()
-    =
+    ?(max_payload = Protocol.default_max_request_payload) ?(jobs = 1)
+    ?cache_journal ~socket () =
   (* a client closing mid-write must surface as EPIPE, not kill us *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  if Sys.file_exists socket then Unix.unlink socket;
+  remove_stale_socket socket;
+  let journal, warm, journal_notes =
+    match cache_journal with
+    | None -> (None, [], [])
+    | Some path ->
+        let j, records, notes =
+          Checkpoint.load ~kind:Protocol.cache_journal_kind
+            ~version:Protocol.version path
+        in
+        let warm, dropped =
+          List.fold_left
+            (fun (warm, dropped) (key, data) ->
+              match
+                Pom_wire.Wire.of_string Protocol.result_codec data
+              with
+              | Ok result -> ((key, result) :: warm, dropped)
+              | Error _ -> (warm, dropped + 1))
+            ([], 0) records
+        in
+        let notes =
+          if dropped = 0 then notes
+          else
+            notes
+            @ [
+                Printf.sprintf
+                  "cache journal: dropped %d undecodable record(s) (POM308)"
+                  dropped;
+              ]
+        in
+        (Some j, List.rev warm, notes)
+  in
+  List.iter
+    (fun n -> Printf.eprintf "pom_compile --serve: %s\n%!" n)
+    journal_notes;
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind listen_fd (Unix.ADDR_UNIX socket);
      Unix.listen listen_fd 64
    with e ->
      close_quietly listen_fd;
+     Option.iter Checkpoint.close journal;
      raise e);
+  let cache = Hashtbl.create 64 in
+  (* warm-start: replay the journaled responses, first write wins (the
+     cache's own insert discipline, applied to the disk replay too) *)
+  let journaled = ref 0 in
+  List.iter
+    (fun (key, result) ->
+      if not (Hashtbl.mem cache key) then begin
+        Hashtbl.replace cache key result;
+        incr journaled
+      end)
+    warm;
   let t =
     {
       socket_path = socket;
@@ -417,13 +570,17 @@ let start ?(max_queue = default_max_queue)
       queue = Queue.create ();
       queue_closed = false;
       sm = Mutex.create ();
-      cache = Hashtbl.create 64;
+      cache;
+      journal;
+      journaled = !journaled;
       requests = 0;
       succeeded = 0;
       failed = 0;
       rejected = 0;
       cache_hits = 0;
       cache_misses = 0;
+      executor_respawns = 0;
+      executor_live = Atomic.make true;
       started_at = Unix.gettimeofday ();
       live_conns = Atomic.make 0;
       accept_thread = None;
@@ -446,10 +603,13 @@ let join t =
   while Atomic.get t.live_conns > 0 && Unix.gettimeofday () < deadline do
     Thread.yield ();
     Unix.sleepf 0.01
-  done
+  done;
+  (* fsync + close: a cleanly stopped daemon's cache survives a machine
+     crash; an unclean death still keeps every flushed record *)
+  Option.iter Checkpoint.close t.journal
 
-let run ?max_queue ?max_payload ?jobs ~socket () =
-  match start ?max_queue ?max_payload ?jobs ~socket () with
+let run ?max_queue ?max_payload ?jobs ?cache_journal ~socket () =
+  match start ?max_queue ?max_payload ?jobs ?cache_journal ~socket () with
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "pom_compile --serve: cannot bind %s: %s\n" socket
         (Unix.error_message e);

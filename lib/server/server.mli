@@ -26,25 +26,52 @@
     blown per-request budget with POM301 — the connection that carried
     the bad input closes and the server keeps serving.  A client that
     disconnects mid-compile trips the request's budget at the next
-    cooperative checkpoint and costs nothing further. *)
+    cooperative checkpoint and costs nothing further.
+
+    Self-healing: the executor thread is supervised — an exception that
+    escapes the typed-error mapping (an executor bug, or the
+    [server:executor] fault site in tests) is logged, charged to the
+    in-flight request alone as a typed POM312 response, and the
+    executor respawns for the next job.  With [cache_journal], every
+    response-cache insert is also appended to an on-disk
+    {!Pom_resilience.Checkpoint} journal (stream kind
+    {!Protocol.cache_journal_kind}, torn tails truncated on reopen), so
+    a restarted daemon warm-starts and serves previously compiled
+    requests as bit-identical cache hits.  The {!Protocol.Ping} probe
+    answers with {!Protocol.health} — uptime, queue depth, executor
+    liveness and respawn count, and the journal's durability lag —
+    without queueing behind a compile. *)
 
 type t
 
 val default_max_queue : int
 
-(** [start ~socket ()] binds the Unix-domain socket (unlinking a stale
-    file first), spawns the accept loop and the executor thread, and
-    returns a handle.  [max_queue] bounds the admission queue;
-    [max_payload] caps a request record ({!Protocol.default_max_request_payload});
-    [jobs] is the worker-domain budget each compile fans out to (default
-    [1]: deterministic and friendly to test hosts).
+(** [start ~socket ()] binds the Unix-domain socket, spawns the accept
+    loop and the executor thread, and returns a handle.  [max_queue]
+    bounds the admission queue; [max_payload] caps a request record
+    ({!Protocol.default_max_request_payload}); [jobs] is the
+    worker-domain budget each compile fans out to (default [1]:
+    deterministic and friendly to test hosts); [cache_journal] names
+    the durable response-cache journal file (created if absent,
+    replayed if present — see the module doc).
+
+    Stale-socket recovery: an existing socket file is connect-probed
+    first.  Only a socket nobody answers on is unlinked; a live daemon
+    raises [Unix.Unix_error (EADDRINUSE, _, _)], and a path that is
+    not a socket is left untouched (bind then fails on it).
 
     No signal handlers are installed (SIGPIPE excepted, which is
     ignored process-wide — a client closing mid-write must never kill
     the server); {!run} layers signal-driven shutdown on top for the
     daemon entry point. *)
 val start :
-  ?max_queue:int -> ?max_payload:int -> ?jobs:int -> socket:string -> unit -> t
+  ?max_queue:int ->
+  ?max_payload:int ->
+  ?jobs:int ->
+  ?cache_journal:string ->
+  socket:string ->
+  unit ->
+  t
 
 (** Request a stop (idempotent, non-blocking): the accept loop exits,
     queued requests are drained and answered, the executor joins. *)
@@ -57,9 +84,18 @@ val join : t -> unit
 
 val stats : t -> Protocol.server_stats
 
+(** The liveness snapshot a {!Protocol.Ping} is answered with. *)
+val health : t -> Protocol.health
+
 (** [run ~socket ()] is the daemon entry point: {!start}, install
     SIGTERM/SIGINT handlers that trigger a clean stop, block until
     shutdown, and return the process exit code (0 on a clean stop, 1
-    when the socket cannot be bound). *)
+    when the socket cannot be bound or is owned by a live daemon). *)
 val run :
-  ?max_queue:int -> ?max_payload:int -> ?jobs:int -> socket:string -> unit -> int
+  ?max_queue:int ->
+  ?max_payload:int ->
+  ?jobs:int ->
+  ?cache_journal:string ->
+  socket:string ->
+  unit ->
+  int

@@ -34,7 +34,13 @@ let test_bad_numeric_options () =
   Alcotest.(check int) "--deadline negative" 1 (run "-w gemm --deadline=-1.5");
   Alcotest.(check int) "--queue 0" 1 (run "--serve /tmp/unused.sock --queue=0");
   Alcotest.(check int) "--resource-fraction 0" 1
-    (run "-w gemm --resource-fraction=0")
+    (run "-w gemm --resource-fraction=0");
+  (* retry knobs: zero or negative would mean "never try" / busy-loop *)
+  Alcotest.(check int) "--retries 0" 1 (run "-w gemm --retries=0");
+  Alcotest.(check int) "--retries negative" 1 (run "-w gemm --retries=-1");
+  Alcotest.(check int) "--retry-backoff 0" 1 (run "-w gemm --retry-backoff=0");
+  Alcotest.(check int) "--retry-backoff negative" 1
+    (run "-w gemm --retry-backoff=-0.5")
 
 let test_analysis_failures () =
   Alcotest.(check int) "--Werror promotes the analyzer warning" 2

@@ -310,7 +310,7 @@ let test_procs_shutdown_healthy () =
   let exe = Pom.Dse.Workpool.default_exe () in
   let procs =
     Pom.Par.Procs.create ~exe ~args:[ "--worker" ]
-      ~header:Pom.Dse.Workpool.header ~jobs:2
+      ~header:Pom.Dse.Workpool.header ~jobs:2 ()
   in
   Alcotest.(check int) "both workers alive" 2 (Pom.Par.Procs.alive procs);
   let t0 = Unix.gettimeofday () in
@@ -334,7 +334,7 @@ let test_procs_shutdown_wedged_worker () =
   Fun.protect ~finally:(fun () -> Unix.putenv "POM_FAULTS" "") @@ fun () ->
   let procs =
     Pom.Par.Procs.create ~exe ~args:[ "--worker" ]
-      ~header:Pom.Dse.Workpool.header ~jobs:1
+      ~header:Pom.Dse.Workpool.header ~jobs:1 ()
   in
   Alcotest.(check int) "worker handshook" 1 (Pom.Par.Procs.alive procs);
   (* the wedged worker ignores SIGTERM before it echoes its greeting, so
@@ -352,6 +352,91 @@ let test_procs_shutdown_wedged_worker () =
        dt)
     true
     (dt < 5.0)
+
+(* -------- worker supervision and respawn -------- *)
+
+(* The chunk-eval request the [dse:worker-kill] fault site guards: the
+   payload decodes to an empty chunk (the site fires before the decode),
+   so a surviving worker answers instantly with an empty reply. *)
+let chunk_tag = Pom.Dse.Workpool.tag_eval_chunk
+
+let empty_chunk =
+  Pom_wire.Wire.to_string Pom.Dse.Workpool.chunk_request_codec []
+
+let with_faulted_pool ?respawn ~spec ~jobs f =
+  let exe = Pom.Dse.Workpool.default_exe () in
+  Unix.putenv "POM_FAULTS" spec;
+  Fun.protect ~finally:(fun () -> Unix.putenv "POM_FAULTS" "") @@ fun () ->
+  let procs =
+    Pom.Par.Procs.create ?respawn ~backoff_base_s:0.01 ~exe
+      ~args:[ "--worker" ] ~header:Pom.Dse.Workpool.header ~jobs ()
+  in
+  Fun.protect ~finally:(fun () -> Pom.Par.Procs.shutdown procs) (fun () ->
+      f procs)
+
+(* Each worker dies on its second chunk; the supervisor must respawn it
+   (replaying the handshake) and re-dispatch the forfeited-in-flight item
+   exactly once, so every reply still arrives.  With jobs=2 and six
+   items the schedule consumes exactly the default 2*jobs budget. *)
+let test_procs_supervised_respawn () =
+  with_faulted_pool ~spec:"dse:worker-kill=kill@2" ~jobs:2 @@ fun procs ->
+  let replies =
+    Pom.Par.Procs.rpc procs ~tag:chunk_tag (List.init 6 (fun _ -> empty_chunk))
+  in
+  Alcotest.(check int) "every item answered" 6
+    (List.length (List.filter Option.is_some replies));
+  let s = Pom.Par.Procs.stats procs in
+  Alcotest.(check int) "both workers died twice" 4 s.Pom.Par.Procs.deaths;
+  Alcotest.(check int) "each death respawned" 4 s.Pom.Par.Procs.respawned;
+  Alcotest.(check int) "nothing forfeited" 0 s.Pom.Par.Procs.forfeited;
+  Alcotest.(check int) "pool back to full strength" 2
+    (Pom.Par.Procs.alive procs)
+
+(* respawn:0 keeps the historical degrade-only contract, but the losses
+   are counted — the observability satellite even with supervision off *)
+let test_procs_unsupervised_counts_losses () =
+  with_faulted_pool ~respawn:0 ~spec:"dse:worker-kill=kill@1" ~jobs:1
+  @@ fun procs ->
+  let replies =
+    Pom.Par.Procs.rpc procs ~tag:chunk_tag (List.init 3 (fun _ -> empty_chunk))
+  in
+  Alcotest.(check bool) "all items lost" true
+    (List.for_all Option.is_none replies);
+  let s = Pom.Par.Procs.stats procs in
+  Alcotest.(check int) "one death" 1 s.Pom.Par.Procs.deaths;
+  Alcotest.(check int) "no respawns without a budget" 0
+    s.Pom.Par.Procs.respawned;
+  Alcotest.(check int) "every item counted forfeited" 3
+    s.Pom.Par.Procs.forfeited;
+  Alcotest.(check int) "pool is empty" 0 (Pom.Par.Procs.alive procs)
+
+(* Budget exhausted AND no live worker left: the typed POM311 failure the
+   search layers catch to disable speculative prefetch. *)
+let test_procs_respawn_exhaustion_is_pom311 () =
+  with_faulted_pool ~respawn:1 ~spec:"dse:worker-kill=kill@1" ~jobs:1
+  @@ fun procs ->
+  match
+    Pom.Par.Procs.rpc procs ~tag:chunk_tag (List.init 2 (fun _ -> empty_chunk))
+  with
+  | _ -> Alcotest.fail "expected POM311 after the respawn budget was spent"
+  | exception Pom.Resilience.Error.Error e ->
+      Alcotest.(check string) "typed code" "POM311" e.Pom.Resilience.Error.code;
+      Alcotest.(check int) "no live workers" 0 (Pom.Par.Procs.alive procs)
+
+(* A broadcast sent before the death must be replayed into the
+   replacement: the respawned worker still answers chunk requests that
+   depend on nothing (empty chunks), proving the handshake + replay
+   completed rather than leaving a half-initialized worker. *)
+let test_procs_respawn_replays_broadcast () =
+  with_faulted_pool ~spec:"dse:worker-kill=kill@2" ~jobs:1 @@ fun procs ->
+  Pom.Par.Procs.broadcast procs ~tag:Pom.Dse.Workpool.tag_hello "not-a-hello";
+  let replies =
+    Pom.Par.Procs.rpc procs ~tag:chunk_tag [ empty_chunk; empty_chunk ]
+  in
+  Alcotest.(check int) "items re-dispatched and answered" 2
+    (List.length (List.filter Option.is_some replies));
+  let s = Pom.Par.Procs.stats procs in
+  Alcotest.(check int) "one respawn" 1 s.Pom.Par.Procs.respawned
 
 let () =
   Alcotest.run "par"
@@ -392,6 +477,17 @@ let () =
             test_procs_shutdown_healthy;
           Alcotest.test_case "wedged worker is SIGKILLed within grace" `Quick
             test_procs_shutdown_wedged_worker;
+        ] );
+      ( "procs-supervision",
+        [
+          Alcotest.test_case "killed workers respawn, items redelivered"
+            `Quick test_procs_supervised_respawn;
+          Alcotest.test_case "unsupervised losses are counted" `Quick
+            test_procs_unsupervised_counts_losses;
+          Alcotest.test_case "budget exhaustion raises POM311" `Quick
+            test_procs_respawn_exhaustion_is_pom311;
+          Alcotest.test_case "respawn replays broadcasts" `Quick
+            test_procs_respawn_replays_broadcast;
         ] );
       ( "determinism",
         [

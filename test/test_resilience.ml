@@ -339,6 +339,104 @@ let test_checkpoint_kill_and_resume () =
     < full.Pom_dse.Stage2.cold_syntheses);
   Sys.remove path
 
+(* -------- client retry/backoff -------- *)
+
+module Retry = Pom.Resilience.Retry
+
+exception Transient
+
+exception Fatal
+
+let fast_policy =
+  { Retry.retries = 3; base_s = 0.001; factor = 2.0; max_s = 0.01; seed = 7 }
+
+(* The whole point of the seeded jitter: the schedule is a pure function
+   of (policy, attempt), so a chaos run replays byte-identical timing. *)
+let test_retry_backoff_deterministic () =
+  let sched p = List.init 6 (fun i -> Retry.backoff_s p ~attempt:(i + 1)) in
+  Alcotest.(check (list (float 1e-12)))
+    "same policy, same schedule" (sched Retry.default) (sched Retry.default);
+  let reseeded = { Retry.default with Retry.seed = 1 } in
+  Alcotest.(check bool) "different seed desynchronizes" true
+    (sched Retry.default <> sched reseeded);
+  List.iteri
+    (fun i d ->
+      let attempt = i + 1 in
+      let raw =
+        Float.min Retry.default.Retry.max_s
+          (Retry.default.Retry.base_s
+          *. (Retry.default.Retry.factor ** float_of_int i))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within the jitter band" attempt)
+        true
+        (d >= (0.5 *. raw) -. 1e-12 && d <= raw +. 1e-12))
+    (sched Retry.default)
+
+let test_retry_succeeds_after_transients () =
+  let calls = ref 0 and observed = ref [] in
+  let v =
+    Retry.run ~policy:fast_policy
+      ~on_retry:(fun ~attempt ~delay_s:_ _ -> observed := attempt :: !observed)
+      ~retry_on:(function Transient -> true | _ -> false)
+      (fun () ->
+        incr calls;
+        if !calls < 3 then raise Transient;
+        !calls * 10)
+  in
+  Alcotest.(check int) "third attempt succeeded" 30 v;
+  Alcotest.(check (list int)) "each scheduled retry observed" [ 2; 1 ]
+    !observed
+
+let test_retry_exhaustion_reraises_last () =
+  let calls = ref 0 in
+  match
+    Retry.run ~policy:fast_policy
+      ~retry_on:(function Transient -> true | _ -> false)
+      (fun () ->
+        incr calls;
+        raise Transient)
+  with
+  | _ -> Alcotest.fail "retry loop returned on a permanent failure"
+  | exception Transient ->
+      Alcotest.(check int) "retries + 1 attempts" (fast_policy.Retry.retries + 1)
+        !calls
+
+let test_retry_rejects_non_transient () =
+  let calls = ref 0 in
+  match
+    Retry.run ~policy:fast_policy
+      ~retry_on:(function Transient -> true | _ -> false)
+      (fun () ->
+        incr calls;
+        raise Fatal)
+  with
+  | _ -> Alcotest.fail "fatal exception was swallowed"
+  | exception Fatal -> Alcotest.(check int) "no retry on fatal" 1 !calls
+
+(* The backoff must never overshoot the caller's deadline: when the next
+   sleep does not fit, the loop gives up immediately. *)
+let test_retry_deadline_bounds_sleeps () =
+  let slow =
+    { Retry.retries = 50; base_s = 0.5; factor = 2.0; max_s = 5.0; seed = 0 }
+  in
+  let calls = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Retry.run ~policy:slow ~deadline_s:0.2
+       ~retry_on:(function Transient -> true | _ -> false)
+       (fun () ->
+         incr calls;
+         raise Transient)
+   with
+  | _ -> Alcotest.fail "unreachable"
+  | exception Transient -> ());
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gave up inside the deadline (%.3f s)" dt)
+    true (dt < 0.5);
+  Alcotest.(check bool) "at most a couple of attempts fit" true (!calls <= 2)
+
 let () =
   Alcotest.run "resilience"
     [
@@ -377,6 +475,19 @@ let () =
             test_fault_timeout_degrades_to_pom301;
           Alcotest.test_case "kill is never absorbed" `Quick
             test_fault_kill_is_never_absorbed;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "seeded backoff is deterministic" `Quick
+            test_retry_backoff_deterministic;
+          Alcotest.test_case "succeeds after transients" `Quick
+            test_retry_succeeds_after_transients;
+          Alcotest.test_case "exhaustion re-raises the last failure" `Quick
+            test_retry_exhaustion_reraises_last;
+          Alcotest.test_case "non-transient propagates immediately" `Quick
+            test_retry_rejects_non_transient;
+          Alcotest.test_case "deadline bounds the schedule" `Quick
+            test_retry_deadline_bounds_sleeps;
         ] );
       ( "acceptance",
         [

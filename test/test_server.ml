@@ -19,9 +19,9 @@ let fresh_socket =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "pom-test-%d-%d.sock" (Unix.getpid ()) !n)
 
-let with_server ?max_queue ?max_payload f =
+let with_server ?max_queue ?max_payload ?cache_journal f =
   let socket = fresh_socket () in
-  let t = Server.start ?max_queue ?max_payload ~socket () in
+  let t = Server.start ?max_queue ?max_payload ?cache_journal ~socket () in
   Fun.protect
     ~finally:(fun () ->
       Server.request_stop t;
@@ -194,7 +194,8 @@ let expect_error_code ~socket bytes code =
   | Protocol.Response { Protocol.outcome = Error e; _ } ->
       Alcotest.(check string) "typed error code" code e.Protocol.code
   | Protocol.Response _ -> Alcotest.fail "expected an error response"
-  | Protocol.Server_stats _ -> Alcotest.fail "expected a compile response"
+  | Protocol.Server_stats _ | Protocol.Health _ ->
+      Alcotest.fail "expected a compile response"
 
 let test_malformed_requests () =
   with_server ~max_payload:4096 @@ fun ~socket _t ->
@@ -279,7 +280,8 @@ let test_admission_overload () =
   let queued = Protocol.read_server_msg (Unix.in_channel_of_descr queued_fd) in
   (match queued with
   | Protocol.Response qr -> ignore (ok_result qr)
-  | Protocol.Server_stats _ -> Alcotest.fail "expected a compile response");
+  | Protocol.Server_stats _ | Protocol.Health _ ->
+      Alcotest.fail "expected a compile response");
   Unix.close queued_fd
 
 (* -------- shutdown over the wire -------- *)
@@ -296,6 +298,184 @@ let test_shutdown_request () =
   Server.join t;
   Alcotest.(check bool) "join is prompt" true (Unix.gettimeofday () -. t0 < 10.0);
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+
+(* -------- stale-socket recovery -------- *)
+
+let test_stale_socket_recovered () =
+  let socket = fresh_socket () in
+  (* a daemon that died without unlinking: the file is a socket, but
+     nobody answers on it *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.close fd;
+  Alcotest.(check bool) "stale socket left behind" true
+    (Sys.file_exists socket);
+  let t = Server.start ~socket () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop t;
+      Server.join t;
+      if Sys.file_exists socket then Sys.remove socket)
+    (fun () ->
+      let r = Client.compile ~socket (Client.request (scheduled_gemm 16)) in
+      ignore (ok_result r))
+
+let test_live_socket_not_stolen () =
+  with_server @@ fun ~socket _t ->
+  match Server.start ~socket () with
+  | t2 ->
+      Server.request_stop t2;
+      Server.join t2;
+      Alcotest.fail "second daemon bound over a live one"
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ()
+
+let test_non_socket_file_untouched () =
+  let path = fresh_socket () in
+  let oc = open_out path in
+  output_string oc "precious bytes";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (match Server.start ~socket:path () with
+      | t ->
+          Server.request_stop t;
+          Server.join t;
+          Alcotest.fail "server bound over a regular file"
+      | exception Unix.Unix_error _ -> ());
+      let ic = open_in path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file left untouched" "precious bytes" contents)
+
+(* -------- health probe -------- *)
+
+let test_ping_health () =
+  with_server @@ fun ~socket _t ->
+  let h = Client.ping ~socket in
+  Alcotest.(check bool) "executor live" true h.Protocol.h_executor_live;
+  Alcotest.(check int) "no respawns yet" 0 h.Protocol.h_executor_respawns;
+  Alcotest.(check int) "queue empty" 0 h.Protocol.h_queue_depth;
+  Alcotest.(check int) "cache empty" 0 h.Protocol.h_cache_entries;
+  Alcotest.(check (option int)) "journal off" None h.Protocol.h_journal_lag;
+  Alcotest.(check bool) "uptime sane" true (h.Protocol.h_uptime_s >= 0.0);
+  ignore (Client.compile ~socket (Client.request (scheduled_gemm 16)));
+  let h = Client.ping ~socket in
+  Alcotest.(check int) "cache grew" 1 h.Protocol.h_cache_entries
+
+(* -------- durable cache journal -------- *)
+
+let test_journal_warm_start () =
+  let journal = Filename.temp_file "pom-cache-journal" ".bin" in
+  Sys.remove journal;
+  (* the server creates it *)
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists journal then Sys.remove journal)
+    (fun () ->
+      let req () = Client.request ~id:5 (scheduled_gemm 32) in
+      let cold_bytes =
+        with_server ~cache_journal:journal @@ fun ~socket _t ->
+        let r = Client.compile ~socket (req ()) in
+        let h = Client.ping ~socket in
+        Alcotest.(check (option int)) "insert journaled" (Some 0)
+          h.Protocol.h_journal_lag;
+        Wire.to_string Protocol.result_codec (ok_result r)
+      in
+      (* a restarted daemon replays the journal into its cache and serves
+         the old request as a hit, bit-identically *)
+      with_server ~cache_journal:journal @@ fun ~socket _t ->
+      let h = Client.ping ~socket in
+      Alcotest.(check int) "entry replayed at startup" 1
+        h.Protocol.h_cache_entries;
+      Alcotest.(check (option int)) "journal synced after replay" (Some 0)
+        h.Protocol.h_journal_lag;
+      let warm = Client.compile ~socket (req ()) in
+      Alcotest.(check bool) "served from the replayed cache" true
+        (warm.Protocol.served = Protocol.Cached);
+      Alcotest.(check string) "bit-identical across the restart" cold_bytes
+        (Wire.to_string Protocol.result_codec (ok_result warm)))
+
+(* -------- executor supervision -------- *)
+
+let test_executor_crash_respawns () =
+  Pom.Resilience.Fault.configure "server:executor=fail@1";
+  Fun.protect ~finally:Pom.Resilience.Fault.reset @@ fun () ->
+  with_server @@ fun ~socket _t ->
+  (* first request rides the crashing executor: typed POM312, charged to
+     this request alone *)
+  let crashed = Client.compile ~socket (Client.request (scheduled_gemm 16)) in
+  (match crashed.Protocol.outcome with
+  | Error e ->
+      Alcotest.(check string) "typed executor-crash code" "POM312"
+        e.Protocol.code
+  | Ok _ -> Alcotest.fail "expected the injected executor crash");
+  (* the respawned executor serves the next request *)
+  let ok = Client.compile ~socket (Client.request (scheduled_gemm 16)) in
+  ignore (ok_result ok);
+  let h = Client.ping ~socket in
+  Alcotest.(check bool) "executor live again" true h.Protocol.h_executor_live;
+  Alcotest.(check int) "respawn counted" 1 h.Protocol.h_executor_respawns
+
+(* -------- daemon kill -9: retry, then local fallback -------- *)
+
+(* the design fingerprint both paths must agree on: stopwatch and trace
+   legitimately differ, everything else must not *)
+let design_bytes (v : Protocol.result) =
+  Wire.to_string Protocol.result_codec
+    { v with Protocol.dse_time_s = 0.0; trace = [] }
+
+let test_daemon_kill_local_fallback_bit_identical () =
+  let req () = Client.request ~id:9 (scheduled_gemm 32) in
+  (* golden: what a healthy server serves *)
+  let golden =
+    with_server @@ fun ~socket _t ->
+    design_bytes (ok_result (Client.compile ~socket (req ())))
+  in
+  (* a real daemon process, kill -9'd: the socket file stays behind with
+     nobody listening, so every retry sees a transient connection error *)
+  let socket = fresh_socket () in
+  let exe = Pom.Dse.Workpool.default_exe () in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "--serve"; socket |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  Alcotest.(check bool) "daemon bound its socket" true (Sys.file_exists socket);
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists socket then Sys.remove socket)
+    (fun () ->
+      let retried = ref 0 in
+      let policy =
+        {
+          Pom.Resilience.Retry.default with
+          Pom.Resilience.Retry.retries = 2;
+          base_s = 0.01;
+        }
+      in
+      (match
+         Client.compile_retry ~policy
+           ~on_retry:(fun ~attempt:_ ~delay_s:_ _ -> incr retried)
+           ~socket (req ())
+       with
+      | _ -> Alcotest.fail "a kill -9'd daemon answered a request"
+      | exception (Unix.Unix_error _ | End_of_file | Sys_error _) -> ());
+      Alcotest.(check int) "every retry was consumed first" 2 !retried;
+      (* the client's degradation: compile the same request locally, with
+         the server's own result projection — must be the golden design *)
+      let c =
+        Pom.compile ~device:Pom.Hls.Device.xc7z020 ~framework:`Pom_manual
+          ~dnn:false ~jobs:1 (scheduled_gemm 32)
+      in
+      Alcotest.(check string) "local fallback is bit-identical" golden
+        (design_bytes (Protocol.result_of_compiled c)))
 
 let () =
   Alcotest.run "server"
@@ -318,5 +498,21 @@ let () =
         [
           Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
           Alcotest.test_case "admission overload" `Quick test_admission_overload;
+        ] );
+      ( "self-healing",
+        [
+          Alcotest.test_case "stale socket recovered" `Quick
+            test_stale_socket_recovered;
+          Alcotest.test_case "live socket not stolen" `Quick
+            test_live_socket_not_stolen;
+          Alcotest.test_case "non-socket file untouched" `Quick
+            test_non_socket_file_untouched;
+          Alcotest.test_case "ping answers health" `Quick test_ping_health;
+          Alcotest.test_case "cache journal warm-starts a restart" `Quick
+            test_journal_warm_start;
+          Alcotest.test_case "executor crash is POM312 + respawn" `Quick
+            test_executor_crash_respawns;
+          Alcotest.test_case "kill -9'd daemon: retries then local fallback"
+            `Quick test_daemon_kill_local_fallback_bit_identical;
         ] );
     ]
